@@ -1,0 +1,76 @@
+"""FIG1 — wallclock & CPU versus processor count (paper Fig. 1).
+
+Regenerates the figure's data with the discrete-event schedule
+simulator on the SP2 machine model (1..256 nodes, largest-k-first,
+paper-calibrated cost model) plus the T3D 256-node point, and checks
+the claims the figure supports: CPU flat, wallclock near 1/N, parallel
+efficiency ~95% at 64 nodes.
+
+Every test here uses the ``benchmark`` fixture so the suite runs under
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CRAY_T3D,
+    IBM_SP2,
+    paper_cost_model,
+    scaling_study,
+    simulate_schedule,
+)
+from repro.util import format_table
+
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def test_run():
+    cm = paper_cost_model()
+    k_big = (cm.lmax_cap - cm.lmax_floor) / cm.lmax_per_ktau / cm.tau0
+    ks = np.sort(np.linspace(1e-4, k_big, 500))[::-1]
+    return cm, ks
+
+
+def test_fig1_table(test_run, benchmark, capsys):
+    """Regenerate and print the Fig. 1 series; assert its claims."""
+    cm, ks = test_run
+    results = benchmark.pedantic(
+        lambda: scaling_study(ks, IBM_SP2, cm, NODE_COUNTS),
+        rounds=1, iterations=1,
+    )
+    t3d = simulate_schedule(ks, CRAY_T3D, cm, 256)
+    rows = [
+        [r.n_workers, r.wallclock_s, r.cpu_total_s / 100.0, r.efficiency,
+         r.gflops_sustained]
+        for r in results
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["nodes", "wallclock [s]", "CPU/100 [s]", "efficiency",
+             "Gflop/s"],
+            rows,
+            title="FIG1: SP2 test run (simulated schedule)",
+        ))
+        print(f"T3D 256-node point: wallclock {t3d.wallclock_s:.0f} s, "
+              f"{t3d.gflops_sustained:.2f} Gflop/s")
+
+    cpu = np.array([r.cpu_total_s for r in results])
+    assert cpu.max() / cpu.min() < 1.0001  # CPU flat with node count
+    eff64 = next(r for r in results if r.n_workers == 64).efficiency
+    assert eff64 > 0.93  # the paper's ~95% at 64 nodes
+    wall = np.array([r.wallclock_s for r in results])
+    n = np.array([r.n_workers for r in results], dtype=float)
+    ideal = wall[0] / n
+    assert np.all(wall[:8] < 1.15 * ideal[:8])  # near the 1/N line
+
+
+def test_fig1_schedule_speed(test_run, benchmark):
+    """Benchmark the simulator itself on the 5000-mode production grid."""
+    cm, _ = test_run
+    k_big = (cm.lmax_cap - cm.lmax_floor) / cm.lmax_per_ktau / cm.tau0
+    ks = np.sort(np.linspace(1e-4, k_big, 5000))[::-1]
+    result = benchmark(simulate_schedule, ks, IBM_SP2, cm, 64)
+    assert result.efficiency > 0.98

@@ -1,0 +1,82 @@
+"""FIG2 — the CMB anisotropy power spectrum against the 1995 data.
+
+Regenerates the paper's Fig. 2: a COBE-normalized standard-CDM C_l
+curve (line-of-sight projection of the recorded Boltzmann sources) over
+the embedded 1995 bandpower compilation, then checks the shape claims:
+Sachs-Wolfe plateau near 28 uK, first acoustic peak near l ~ 220 at
+~2-3x the plateau, and broad consistency with the detections.
+
+The heavy Boltzmann integration lives in the session fixture
+(`linger_sources`); the benchmarked quantity here is the line-of-sight
+projection (the post-processing step a user re-runs per l-grid).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import bandpowers_as_arrays
+from repro.spectra import band_power_uk, cl_from_hierarchy, cl_from_los, cobe_normalization
+from repro.util import ascii_plot, format_table
+
+
+def test_fig2_curve(linger_sources, fig2_spectrum, benchmark, capsys):
+    """Regenerate Fig. 2 and verify its shape."""
+    params = linger_sources.params
+    l_bench = np.arange(2, 40)
+    benchmark.pedantic(
+        lambda: cl_from_los(linger_sources, l_bench), rounds=1, iterations=1
+    )
+
+    l, cl = fig2_spectrum
+    bp = band_power_uk(l, cl, params.t_cmb)
+    data = bandpowers_as_arrays()
+
+    with capsys.disabled():
+        print()
+        print(ascii_plot(
+            l, bp, overlay=(data["l_eff"], data["delta_t_uk"]),
+            logx=True, width=76, height=22,
+            title="FIG2: delta-T_l [uK] (* curve, o 1995 data)",
+            xlabel="l (log)", ylabel="uK",
+        ))
+        rows = [[int(li), float(b)] for li, b in zip(l, bp)]
+        print(format_table(["l", "delta-T_l [uK]"], rows,
+                           title="FIG2 series"))
+
+    plateau = float(np.mean(bp[(l >= 5) & (l <= 15)]))
+    i_peak = int(np.argmax(bp))
+    peak_l = int(l[i_peak])
+    peak = float(bp[i_peak])
+
+    assert 24 < plateau < 38  # COBE-normalized Sachs-Wolfe plateau
+    assert 170 < peak_l < 280  # first acoustic peak near l ~ 220
+    assert 1.7 < peak / plateau < 3.2  # the degree-scale rise
+    # the curve threads the detections: within 3 sigma of most points
+    det = bandpowers_as_arrays(include_upper_limits=False)
+    curve_at_data = np.interp(det["l_eff"], l, bp)
+    sigma = 0.5 * (det["err_plus_uk"] + det["err_minus_uk"])
+    n_consistent = np.sum(
+        np.abs(curve_at_data - det["delta_t_uk"]) < 3.0 * sigma
+    )
+    assert n_consistent >= 0.7 * det["l_eff"].size
+
+
+def test_fig2_low_l_cross_check(linger_sources, benchmark):
+    """The paper's direct (full-hierarchy) C_l agrees with the
+    line-of-sight projection at low l on the same run."""
+    l = np.arange(2, 8)  # lmax = 10 run: l <= lmax - truncation margin
+    _, cl_h = benchmark.pedantic(
+        lambda: cl_from_hierarchy(linger_sources, l_values=l),
+        rounds=1, iterations=1,
+    )
+    _, cl_s = cl_from_los(linger_sources, l)
+    assert np.all(np.abs(cl_s / cl_h - 1.0) < 0.06)
+
+
+def test_fig2_qrms_normalization(fig2_spectrum, benchmark):
+    """The normalized spectrum reproduces Q_rms-PS = 18 uK exactly."""
+    from repro.spectra import qrms_ps_from_cl
+
+    l, cl = fig2_spectrum
+    q = benchmark(qrms_ps_from_cl, l, cl)
+    assert q == pytest.approx(18.0, rel=1e-6)

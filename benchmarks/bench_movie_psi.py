@@ -1,0 +1,83 @@
+"""MOVIE — the psi evolution movie.
+
+Regenerates the data behind the paper's mpeg: psi of the conformal
+Newtonian gauge on a comoving 100 Mpc box, ending at conformal time
+~250 Mpc (just after recombination; 1/a ~ 1000 there).  Checks the
+physics the movie shows: the potential oscillates at early times on
+acoustic scales and the oscillations damp away by recombination.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perturbations import default_record_grid, evolve_mode
+from repro.skymap import PotentialMovie
+from repro.util import format_table
+
+
+@pytest.fixture(scope="module")
+def movie_modes(bg, thermo):
+    box, npix = 100.0, 32
+    k_lo = 2 * np.pi / box / 2.0
+    k_hi = np.pi * npix / box
+    ks = np.geomspace(k_lo, k_hi, 8)
+    modes = []
+    for k in ks:
+        grid = default_record_grid(bg, thermo, float(k))
+        modes.append(evolve_mode(bg, thermo, float(k), record_tau=grid,
+                                 rtol=3e-4))
+    return modes
+
+
+def test_movie_frames(movie_modes, thermo, benchmark, capsys):
+    movie = PotentialMovie(movie_modes, box_mpc=100.0, npix=32)
+    lo, _ = movie.tau_range
+    taus = np.linspace(max(lo, 15.0), 250.0, 16)
+
+    frames = benchmark.pedantic(lambda: movie.frames(taus),
+                                rounds=1, iterations=1)
+    assert frames.shape == (16, 32, 32)
+
+    a_end = thermo.background.a_of_tau(250.0)
+    rows = [[float(t), float(f.std())] for t, f in zip(taus, frames)]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["tau [Mpc]", "rms(psi) on the slice"],
+            rows,
+            title="MOVIE: frame statistics "
+                  f"(final frame at tau=250 Mpc, 1/a = {1/float(a_end):.0f}; "
+                  "paper: 1028)",
+        ))
+    # the movie ends "shortly after recombination at ... 1/a = 1028"
+    assert 1.0 / float(a_end) == pytest.approx(1028, rel=0.15)
+
+
+def test_acoustic_oscillations_of_psi(movie_modes, thermo, benchmark):
+    """An acoustic-scale psi(k, tau) oscillates before recombination:
+    its time derivative changes sign repeatedly."""
+    # pick the mode closest to k ~ 0.3/Mpc (well inside the sound horizon)
+    mode = min(movie_modes, key=lambda m: abs(m.k - 0.3))
+
+    def extrema_count():
+        sel = mode.tau < thermo.tau_rec
+        psi = mode.records["psi"][sel]
+        dpsi = np.diff(psi)
+        return int(np.count_nonzero(np.diff(np.sign(dpsi)) != 0))
+
+    n_extrema = benchmark(extrema_count)
+    assert n_extrema >= 3  # several oscillation extrema before rec
+
+
+def test_oscillations_damp_by_recombination(movie_modes, benchmark):
+    """The small-scale potential decays strongly by tau = 250 Mpc."""
+    mode = min(movie_modes, key=lambda m: abs(m.k - 0.5))
+
+    def ratio():
+        psi = np.abs(mode.records["psi"])
+        early = psi[0]
+        i_250 = np.argmin(np.abs(mode.tau - 250.0))
+        return float(psi[i_250] / early)
+
+    r = benchmark(ratio)
+    assert r < 0.2

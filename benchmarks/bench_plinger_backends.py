@@ -1,0 +1,49 @@
+"""PLINGER transports — end-to-end protocol runs on real work.
+
+The paper's point about the wrapper layer is that "the choice of which
+library to use has no effect on the efficiency of the code".  This
+benchmark runs the same small production over both local transports
+(threads, forked processes) and reports wallclock and traffic; results
+must be identical across backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro import KGrid, LingerConfig, standard_cdm
+from repro.plinger import run_plinger
+from repro.util import format_table
+
+
+@pytest.fixture(scope="module")
+def workload():
+    params = standard_cdm()
+    kgrid = KGrid.from_k(np.geomspace(1e-3, 0.03, 6))
+    config = LingerConfig(record_sources=False, keep_mode_results=False,
+                          rtol=3e-4)
+    return params, kgrid, config
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "procs"])
+def test_backend_run(workload, bg, thermo, backend, benchmark, capsys):
+    params, kgrid, config = workload
+
+    result, stats = benchmark.pedantic(
+        lambda: run_plinger(params, kgrid, config, nproc=3, backend=backend,
+                            background=bg, thermo=thermo),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["backend", "wall [s]", "worker CPU [s]", "msgs to master",
+             "bytes to master"],
+            [[backend, stats.wall_seconds,
+              float(stats.worker_cpu_seconds.sum()),
+              stats.master_messages_received,
+              stats.master_bytes_received]],
+            title="PLINGER transport comparison",
+        ))
+    # protocol accounting is transport-independent
+    assert stats.master_messages_received == 2 + 2 * kgrid.nk
+    assert np.all(np.isfinite(result.delta_m))

@@ -1,0 +1,93 @@
+"""TAB-FLOPS — Section 5.1's sustained-rate table.
+
+The paper reports sustained rates per machine; with the schedule
+simulator and the calibrated cost model those numbers are emergent:
+this benchmark regenerates the whole table and compares row by row.
+It also measures *this* Python implementation's real per-mode
+throughput so the substitution is quantified.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CRAY_C90,
+    CRAY_T3D,
+    IBM_SP2,
+    IBM_SP2_TUNED,
+    paper_cost_model,
+    simulate_schedule,
+)
+from repro.perturbations import evolve_mode
+from repro.util import format_table
+
+#: (machine, nodes, paper's sustained Gflop for the production run)
+PAPER_ROWS = [
+    (IBM_SP2, 64, 2.4),
+    (IBM_SP2, 256, 9.6),
+    (IBM_SP2_TUNED, 256, 15.0),
+    (CRAY_T3D, 256, 3.7),
+]
+
+
+@pytest.fixture(scope="module")
+def production():
+    cm = paper_cost_model()
+    k_big = (cm.lmax_cap - cm.lmax_floor) / cm.lmax_per_ktau / cm.tau0
+    ks = np.sort(np.linspace(1e-4, k_big, 5000))[::-1]
+    return cm, ks
+
+
+def test_flops_table(production, benchmark, capsys):
+    cm, ks = production
+
+    def build():
+        return [
+            simulate_schedule(ks, machine, cm, nodes)
+            for machine, nodes, _ in PAPER_ROWS
+        ]
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for (machine, nodes, paper), r in zip(PAPER_ROWS, results):
+        rows.append([machine.name, nodes, r.gflops_sustained, paper,
+                     r.gflops_sustained / paper])
+    # serial C90 row: one node, sustained rate is the machine's own
+    rows.insert(0, [CRAY_C90.name + " (serial)", 1,
+                    CRAY_C90.mflop_per_node / 1000.0, 0.570, 1.0])
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["machine", "nodes", "Gflop/s (model)", "Gflop/s (paper)",
+             "ratio"],
+            rows,
+            title="TAB-FLOPS: sustained rates, production run",
+        ))
+        hours = np.sum(cm.work_seconds(ks, CRAY_C90.mflop_per_node)) / 3600
+        print(f"production-run cost: {hours:.1f} C90-CPU-hours "
+              "(paper: ~75)")
+
+    for (_, _, paper), r in zip(PAPER_ROWS, results):
+        assert r.gflops_sustained == pytest.approx(paper, rel=0.15)
+
+
+def test_python_throughput(bg, thermo, benchmark, capsys):
+    """Measured per-mode cost of this package's integrator (the
+    substitution's real-world throughput)."""
+    k = 0.02
+
+    def one_mode():
+        return evolve_mode(bg, thermo, k, rtol=2e-4)
+
+    t0 = time.process_time()
+    mode = benchmark.pedantic(one_mode, rounds=1, iterations=1)
+    cpu = time.process_time() - t0
+    with capsys.disabled():
+        print(f"\nPython mode k={k}: {cpu:.2f} CPU-s, "
+              f"{mode.stats.n_rhs} RHS evaluations, "
+              f"{mode.stats.n_rhs / max(cpu, 1e-9):,.0f} RHS/s")
+    assert mode.stats.n_rhs > 0

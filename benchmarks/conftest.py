@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive physics products (a source-recording LINGER run and its
+line-of-sight spectrum) are computed once per session and shared by the
+figure benchmarks.  Quality knobs are reduced relative to the paper's
+production run (which was 75 C90-CPU-hours); the *shape* quantities the
+benchmarks check — peak locations, who-wins factors, scaling slopes —
+are converged at these settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Background, KGrid, LingerConfig, ThermalHistory, standard_cdm
+from repro.linger import cl_kgrid, run_linger
+from repro.spectra import cl_from_los, cobe_normalization
+
+#: Multipoles at which the Fig. 2 curve is evaluated.
+FIG2_L = np.unique(np.concatenate([
+    np.arange(2, 12),
+    np.geomspace(12, 600, 28).astype(int),
+]))
+
+
+@pytest.fixture(scope="session")
+def scdm():
+    return standard_cdm()
+
+
+@pytest.fixture(scope="session")
+def bg(scdm):
+    return Background(scdm)
+
+
+@pytest.fixture(scope="session")
+def thermo(bg):
+    return ThermalHistory(bg)
+
+
+@pytest.fixture(scope="session")
+def linger_sources(scdm, bg, thermo):
+    """A reduced-quality source run: k up to l ~ 600, coarse k grid."""
+    kgrid = cl_kgrid(bg, l_max=600, points_per_period=1.5)
+    config = LingerConfig(lmax_photon=10, lmax_nu=10, rtol=2e-4)
+    return run_linger(scdm, kgrid, config, background=bg, thermo=thermo)
+
+
+@pytest.fixture(scope="session")
+def fig2_spectrum(linger_sources):
+    """(l, C_l normalized to COBE) for Fig. 2 and Fig. 3."""
+    l, cl = cl_from_los(linger_sources, FIG2_L)
+    cl = cl * cobe_normalization(
+        l, cl, linger_sources.params.q_rms_ps_uk,
+        linger_sources.params.t_cmb,
+    )
+    return l, cl

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Fig. 2: the CMB anisotropy power spectrum against the 1995 data.
+
+Evolves a k-grid of modes with recorded line-of-sight sources, projects
+them to C_l up to l ~ 600, normalizes to the COBE Q_rms-PS, and plots
+(in ASCII) the band powers delta-T_l over the embedded 1995 bandpower
+compilation — the reproduction of the paper's Figure 2.
+
+Quality knobs:
+    --lmax-cl N        highest multipole of the curve   (default 600)
+    --points-per-period f   k-grid density              (default 1.5)
+    --rtol x           integrator tolerance             (default 2e-4)
+    --csv PATH         also write the curve as CSV
+
+The paper's production curve took 20 hours on 64 SP2 nodes; at the
+default reduced settings this takes a few minutes on one core and
+reproduces the shape (plateau, first-peak location and height).
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import Background, LingerConfig, ThermalHistory, standard_cdm
+from repro.data import bandpowers_as_arrays
+from repro.linger import cl_kgrid, run_linger
+from repro.spectra import band_power_uk, cl_from_los, cobe_normalization
+from repro.util import ascii_plot, format_table
+
+
+def compute_spectrum(l_max=600, points_per_period=1.5, rtol=2e-4,
+                     progress=True):
+    params = standard_cdm()
+    bg = Background(params)
+    thermo = ThermalHistory(bg)
+    kgrid = cl_kgrid(bg, l_max=l_max, points_per_period=points_per_period)
+    config = LingerConfig(lmax_photon=10, lmax_nu=10, rtol=rtol)
+    if progress:
+        print(f"Integrating {kgrid.nk} modes up to k={kgrid.k[-1]:.4f}/Mpc")
+    t0 = time.time()
+    result = run_linger(params, kgrid, config, background=bg, thermo=thermo)
+    if progress:
+        print(f"integration: {time.time() - t0:.0f} s")
+
+    l = np.unique(np.concatenate([
+        np.arange(2, 12),
+        np.geomspace(12, l_max, 30).astype(int),
+    ]))
+    t0 = time.time()
+    l, cl = cl_from_los(result, l)
+    if progress:
+        print(f"line-of-sight projection: {time.time() - t0:.0f} s")
+    cl = cl * cobe_normalization(l, cl, params.q_rms_ps_uk, params.t_cmb)
+    return params, l, cl
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--lmax-cl", type=int, default=600)
+    ap.add_argument("--points-per-period", type=float, default=1.5)
+    ap.add_argument("--rtol", type=float, default=2e-4)
+    ap.add_argument("--csv", type=str, default=None)
+    args = ap.parse_args(argv)
+
+    params, l, cl = compute_spectrum(args.lmax_cl, args.points_per_period,
+                                     args.rtol)
+    bp = band_power_uk(l, cl, params.t_cmb)
+
+    data = bandpowers_as_arrays()
+    print()
+    print(ascii_plot(
+        l, bp,
+        overlay=(data["l_eff"], data["delta_t_uk"]),
+        logx=True, width=76, height=22,
+        title="Fig. 2: delta-T_l [uK] vs l  (* = PLINGER curve, o = 1995 data)",
+        xlabel="multipole l (log)", ylabel="band power [uK]",
+    ))
+
+    i_peak = np.argmax(bp)
+    plateau = float(np.mean(bp[(l >= 5) & (l <= 15)]))
+    print(format_table(
+        ["quantity", "value", "expectation (SCDM, COBE-normalized)"],
+        [
+            ["Sachs-Wolfe plateau [uK]", plateau, "~28"],
+            ["first peak location l", int(l[i_peak]), "~220"],
+            ["first peak height [uK]", float(bp[i_peak]), "~75"],
+            ["peak / plateau", float(bp[i_peak] / plateau), "~2.7"],
+        ],
+    ))
+
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write("l,cl,delta_t_uk\n")
+            for li, ci, bi in zip(l, cl, bp):
+                fh.write(f"{li},{ci:.8e},{bi:.4f}\n")
+        print(f"curve written to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

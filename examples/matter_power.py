@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The linear matter power spectrum: CDM versus mixed dark matter.
+
+LINGER's output is "useful both for calculations of the CMB anisotropy
+and the linear power spectrum of matter fluctuations" (paper, abstract).
+This example computes the matter transfer function and P(k) for
+standard CDM and for a mixed (cold + hot) dark matter model with
+Omega_nu = 0.2 in one massive species — exercising the full
+momentum-grid massive-neutrino Boltzmann hierarchy — and shows the
+classic free-streaming suppression of small-scale power.
+
+Usage: python examples/matter_power.py [--nk N]
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import (
+    Background,
+    LingerConfig,
+    ThermalHistory,
+    matter_kgrid,
+    mixed_dark_matter,
+    run_linger,
+    standard_cdm,
+)
+from repro.spectra import matter_power, sigma_r, transfer_function
+from repro.util import ascii_plot, format_table
+
+
+def run(params, kgrid, nq=0):
+    bg = Background(params)
+    thermo = ThermalHistory(bg)
+    config = LingerConfig(lmax_photon=8, lmax_nu=8, nq=nq,
+                          lmax_massive_nu=6, rtol=2e-4,
+                          record_sources=False)
+    return run_linger(params, kgrid, config, background=bg, thermo=thermo)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nk", type=int, default=16)
+    args = ap.parse_args(argv)
+
+    kgrid = matter_kgrid(2e-4, 1.0, args.nk)
+
+    print(f"standard CDM: {kgrid.nk} modes")
+    cdm = run(standard_cdm(), kgrid)
+    print(f"mixed dark matter (Omega_nu=0.2, m_nu~4.7 eV): {kgrid.nk} modes")
+    mdm = run(mixed_dark_matter(omega_nu=0.2), kgrid, nq=8)
+
+    k = kgrid.k
+    t_cdm = transfer_function(k, cdm.delta_m)
+    t_mdm = transfer_function(k, mdm.delta_m)
+    p_cdm = matter_power(k, cdm.delta_m)
+    p_mdm = matter_power(k, mdm.delta_m)
+    # common large-scale normalization for the comparison
+    p_mdm *= p_cdm[0] / p_mdm[0]
+
+    print()
+    print(ascii_plot(
+        k, p_cdm, overlay=(k, p_mdm), overlay_marker="o",
+        logx=True, logy=True, width=72, height=20,
+        title="P(k): standard CDM (*) vs MDM (o), arbitrary amplitude",
+        xlabel="k [1/Mpc] (log)", ylabel="P(k) (log)",
+    ))
+
+    rows = []
+    for i in range(0, kgrid.nk, max(1, kgrid.nk // 8)):
+        rows.append([float(k[i]), float(t_cdm[i]), float(t_mdm[i]),
+                     float(p_mdm[i] / p_cdm[i])])
+    print(format_table(
+        ["k [1/Mpc]", "T_CDM(k)", "T_MDM(k)", "P_MDM/P_CDM"],
+        rows,
+        title="transfer functions and MDM suppression",
+    ))
+    s_cdm = sigma_r(k, p_cdm, 16.0)
+    s_mdm = sigma_r(k, p_mdm, 16.0)
+    print(f"relative sigma(8/h Mpc): MDM/CDM = {s_mdm / s_cdm:.3f} "
+          "(free streaming suppresses small-scale power)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

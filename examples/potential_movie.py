@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The psi movie: acoustic oscillations of the Newtonian potential.
+
+Reproduces the paper's mpeg movie: the conformal-Newtonian potential
+psi on a comoving 100 Mpc square, from deep in the radiation era to
+conformal time ~250 Mpc (just after recombination).  The potential
+oscillates at early times because of the acoustic oscillations of the
+photon-baryon fluid — the same oscillations that produce the
+small-angular-scale features of the Fig. 3 map.
+
+Writes one PPM frame per output time plus an ASCII plot of psi(k, tau)
+for a few wavenumbers so the oscillations are visible in the terminal.
+
+Usage: python examples/potential_movie.py [--frames N] [--outdir DIR]
+"""
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+from repro import Background, ThermalHistory, standard_cdm
+from repro.perturbations import default_record_grid, evolve_mode
+from repro.skymap import PotentialMovie, write_ppm
+from repro.util import ascii_plot, format_table
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--frames", type=int, default=12)
+    ap.add_argument("--npix", type=int, default=96)
+    ap.add_argument("--nk", type=int, default=14)
+    ap.add_argument("--outdir", default=str(pathlib.Path(__file__).parent))
+    args = ap.parse_args(argv)
+    outdir = pathlib.Path(args.outdir)
+
+    params = standard_cdm()
+    bg = Background(params)
+    thermo = ThermalHistory(bg)
+
+    # k coverage for a 100 Mpc box at npix pixels: fundamental 2pi/100
+    # up to the pixel scale
+    box = 100.0
+    k_lo = 2 * np.pi / box / 2.0
+    k_hi = np.pi * args.npix / box
+    ks = np.geomspace(k_lo, k_hi, args.nk)
+    print(f"evolving {args.nk} modes, k = {k_lo:.3f}..{k_hi:.3f} /Mpc")
+    modes = []
+    for k in ks:
+        grid = default_record_grid(bg, thermo, float(k))
+        modes.append(evolve_mode(bg, thermo, float(k), record_tau=grid,
+                                 rtol=3e-4))
+
+    movie = PotentialMovie(modes, box_mpc=box, npix=args.npix,
+                           n_s=params.n_s)
+    lo, hi = movie.tau_range
+    taus = np.linspace(max(lo, 15.0), 250.0, args.frames)
+
+    frames = movie.frames(taus)
+    scale = float(np.max(np.abs(frames)))
+    rows = []
+    for i, (t, fr) in enumerate(zip(taus, frames)):
+        path = write_ppm(outdir / f"psi_frame_{i:03d}.ppm", fr,
+                         vmin=-scale, vmax=scale, symmetric=False)
+        rows.append([i, float(t), float(fr.std()), path.name])
+    print(format_table(["frame", "tau [Mpc]", "rms(psi)", "file"], rows,
+                       title="movie frames (ends just after recombination, "
+                             f"tau_rec = {thermo.tau_rec:.0f} Mpc)"))
+
+    # terminal view of the oscillations for one acoustic-scale mode
+    m = modes[len(modes) // 2]
+    sel = m.tau <= 260.0
+    print(ascii_plot(
+        m.tau[sel], m.records["psi"][sel], width=72, height=16,
+        title=f"psi(k={m.k:.3f}/Mpc, tau): acoustic oscillations",
+        xlabel="conformal time [Mpc]", ylabel="psi",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandbox this repo is developed in has no network access and no
+``wheel`` package, so PEP 660 editable installs fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — a reproduction of Bode & Bertschinger (Supercomputing '95),
+"Parallel Linear General Relativity and CMB Anisotropies".
+
+The package implements the full LINGER/PLINGER system in Python:
+
+* :mod:`repro.background`    — FRW expansion, massive-neutrino integrals
+* :mod:`repro.thermo`        — recombination and the thermal history
+* :mod:`repro.integrators`   — DVERK (Verner 6(5)) re-implementation
+* :mod:`repro.perturbations` — the synchronous-gauge Einstein-Boltzmann
+  system (photons with polarization, neutrinos, massive neutrinos on a
+  momentum grid, tight coupling)
+* :mod:`repro.linger`        — the serial driver and output records
+* :mod:`repro.mp`            — the paper's message-passing wrapper API
+* :mod:`repro.plinger`       — the master/worker parallel driver
+* :mod:`repro.cluster`       — 1995 machine models + schedule simulator
+* :mod:`repro.spectra`       — C_l (hierarchy and line-of-sight), P(k),
+  COBE normalization
+* :mod:`repro.skymap`        — Fig. 3 sky maps and the psi movie
+* :mod:`repro.data`          — the 1995 bandpower compilation
+
+Quickstart::
+
+    import numpy as np
+    from repro import standard_cdm, run_linger, LingerConfig, KGrid
+    from repro.spectra import cl_from_hierarchy, cobe_normalization
+
+    params = standard_cdm()
+    kgrid = KGrid.from_k(np.linspace(3e-5, 3e-3, 28))
+    result = run_linger(params, kgrid, LingerConfig(lmax_photon=30))
+    l, cl = cl_from_hierarchy(result)
+    cl = cl * cobe_normalization(l, cl, params.q_rms_ps_uk)
+"""
+
+from .params import (
+    CosmologyParams,
+    lambda_cdm,
+    mixed_dark_matter,
+    standard_cdm,
+    tilted_cdm,
+)
+from .background import Background
+from .thermo import ThermalHistory
+from .linger import KGrid, LingerConfig, LingerResult, cl_kgrid, matter_kgrid, run_linger
+from .plinger import run_plinger
+from .perturbations import ModeResult, evolve_mode
+from .errors import (
+    IntegrationError,
+    MessagePassingError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CosmologyParams",
+    "standard_cdm",
+    "tilted_cdm",
+    "lambda_cdm",
+    "mixed_dark_matter",
+    "Background",
+    "ThermalHistory",
+    "KGrid",
+    "cl_kgrid",
+    "matter_kgrid",
+    "LingerConfig",
+    "LingerResult",
+    "run_linger",
+    "run_plinger",
+    "ModeResult",
+    "evolve_mode",
+    "ReproError",
+    "ParameterError",
+    "IntegrationError",
+    "MessagePassingError",
+    "ProtocolError",
+    "ScheduleError",
+    "__version__",
+]

@@ -1,0 +1,176 @@
+"""Massive-neutrino phase-space machinery.
+
+LINGER's distinguishing accuracy feature is that massive neutrinos are
+never treated as a fluid: their perturbations are followed with a full
+Boltzmann hierarchy *per comoving momentum* ``q`` and the stress-energy
+is obtained by integrating over the momentum grid at every step.  This
+module provides the unperturbed Fermi-Dirac distribution, the momentum
+quadrature, and the background energy/pressure integrals
+
+    rho_nu(a) a^4  ~  integral q^2 eps(q, a) f0(q) dq,
+    p_nu(a)   a^4  ~  (1/3) integral q^4 / eps(q, a) f0(q) dq,
+
+with ``eps = sqrt(q^2 + (a m/T_nu0)^2)`` and ``q`` in units of the
+neutrino temperature today.  Everything is normalized to the massless
+value ``I_rho(0) = 7 pi^4 / 120`` so densities can be expressed as a
+correction factor on the massless-equivalent density.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.interpolate import CubicSpline
+
+__all__ = [
+    "fermi_dirac_f0",
+    "dlnf0_dlnq",
+    "momentum_grid",
+    "I_RHO_MASSLESS",
+    "rho_integral",
+    "pressure_integral",
+    "MassiveNuTables",
+    "solve_mass_parameter",
+]
+
+#: I_rho(0) = integral q^3/(e^q+1) dq = 7 pi^4 / 120.
+I_RHO_MASSLESS = 7.0 * math.pi**4 / 120.0
+
+
+def fermi_dirac_f0(q):
+    """Unperturbed Fermi-Dirac occupation 1/(e^q + 1) (zero chemical potential)."""
+    q = np.asarray(q, dtype=float)
+    return 1.0 / (np.exp(np.minimum(q, 700.0)) + 1.0)
+
+
+def dlnf0_dlnq(q):
+    """Logarithmic slope d ln f0 / d ln q = -q / (1 + e^-q)."""
+    q = np.asarray(q, dtype=float)
+    return -q / (1.0 + np.exp(-np.minimum(q, 700.0)))
+
+
+def momentum_grid(nq: int, q_max: float = 18.0) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss-Legendre nodes/weights on [0, q_max] for momentum integrals.
+
+    Returns ``(q, w)`` such that ``integral g(q) dq ~ sum(w * g(q))``.
+    The Fermi-Dirac weight decays like e^-q, so q_max = 18 keeps the
+    truncation error below ~1e-7 of the integral.
+    """
+    if nq < 2:
+        raise ValueError("need at least 2 momentum nodes")
+    x, w = np.polynomial.legendre.leggauss(nq)
+    q = 0.5 * q_max * (x + 1.0)
+    w = 0.5 * q_max * w
+    return q, w
+
+
+def rho_integral(x, q=None, w=None):
+    """I_rho(x) = integral q^2 sqrt(q^2 + x^2) f0(q) dq for x = a m / T_nu0.
+
+    Scalar in, scalar out; array in, array out.
+    """
+    if q is None or w is None:
+        q, w = momentum_grid(64, q_max=25.0)
+    scalar = np.isscalar(x) or np.ndim(x) == 0
+    x = np.atleast_1d(np.asarray(x, dtype=float))
+    eps = np.sqrt(q[None, :] ** 2 + x[:, None] ** 2)
+    vals = np.sum(w * q**2 * eps * fermi_dirac_f0(q), axis=1)
+    return float(vals[0]) if scalar else vals
+
+
+def pressure_integral(x, q=None, w=None):
+    """I_p(x) = (1/3) integral q^4 / sqrt(q^2 + x^2) f0(q) dq.
+
+    Scalar in, scalar out; array in, array out.
+    """
+    if q is None or w is None:
+        q, w = momentum_grid(64, q_max=25.0)
+    scalar = np.isscalar(x) or np.ndim(x) == 0
+    x = np.atleast_1d(np.asarray(x, dtype=float))
+    eps = np.sqrt(q[None, :] ** 2 + x[:, None] ** 2)
+    vals = np.sum(w * q**4 / eps * fermi_dirac_f0(q), axis=1) / 3.0
+    return float(vals[0]) if scalar else vals
+
+
+def solve_mass_parameter(omega_nu: float, omega_nu_rel_equiv: float) -> float:
+    """Solve for x0 = m / T_nu0 such that the massive species carries
+    ``omega_nu`` today.
+
+    The massive-neutrino density today is the massless-equivalent
+    density scaled by ``I_rho(x0) / I_rho(0)``, so x0 solves
+
+        omega_nu_rel_equiv * I_rho(x0) / I_rho(0) = omega_nu.
+
+    Bisection on log x0; the left side is monotonically increasing.
+    """
+    if omega_nu <= 0.0:
+        return 0.0
+    target = omega_nu / omega_nu_rel_equiv * I_RHO_MASSLESS
+    q, w = momentum_grid(96, q_max=30.0)
+
+    def f(x: float) -> float:
+        return rho_integral(x, q, w) - target
+
+    lo, hi = 1e-6, 1e9
+    if f(lo) > 0.0:
+        raise ValueError("omega_nu smaller than the massless-equivalent density")
+    while f(hi) < 0.0:
+        hi *= 10.0
+        if hi > 1e15:
+            raise ValueError("mass parameter search diverged")
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)
+        if f(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi / lo < 1.0 + 1e-13:
+            break
+    return math.sqrt(lo * hi)
+
+
+@dataclass(frozen=True)
+class MassiveNuTables:
+    """Splined background integrals for one massive neutrino species.
+
+    Attributes
+    ----------
+    x0:
+        Mass parameter ``m / T_nu0``; the argument of the integrals at
+        scale factor ``a`` is ``x = a * x0``.
+    """
+
+    x0: float
+    _log_rho_spline: CubicSpline
+    _log_p_spline: CubicSpline
+    x_min: float
+    x_max: float
+
+    @classmethod
+    def build(cls, x0: float, n_table: int = 400) -> "MassiveNuTables":
+        if x0 <= 0.0:
+            raise ValueError("x0 must be positive for a massive species")
+        x_min, x_max = 1e-8 * max(x0, 1.0), 10.0 * max(x0, 1.0)
+        x = np.geomspace(x_min, x_max, n_table)
+        q, w = momentum_grid(96, q_max=30.0)
+        rho = rho_integral(x, q, w)
+        p = pressure_integral(x, q, w)
+        return cls(
+            x0=x0,
+            _log_rho_spline=CubicSpline(np.log(x), np.log(rho)),
+            _log_p_spline=CubicSpline(np.log(x), np.log(p)),
+            x_min=x_min,
+            x_max=x_max,
+        )
+
+    def rho_factor(self, a):
+        """rho_nu(a) / rho_nu,massless(a): the I_rho(a x0)/I_rho(0) factor."""
+        x = np.clip(np.asarray(a, dtype=float) * self.x0, self.x_min, self.x_max)
+        return np.exp(self._log_rho_spline(np.log(x))) / I_RHO_MASSLESS
+
+    def pressure_factor(self, a):
+        """3 p_nu(a) / rho_nu,massless(a): relativistic limit -> 1."""
+        x = np.clip(np.asarray(a, dtype=float) * self.x0, self.x_min, self.x_max)
+        return 3.0 * np.exp(self._log_p_spline(np.log(x))) / I_RHO_MASSLESS

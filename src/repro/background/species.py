@@ -1,0 +1,54 @@
+"""Per-species helper relations used by the perturbation equations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants as const
+from ..params import CosmologyParams
+
+__all__ = ["baryon_photon_ratio", "sound_speed_squared_baryons"]
+
+
+def baryon_photon_ratio(params: CosmologyParams, a):
+    """R = 4 rho_gamma / (3 rho_b) at scale factor ``a``.
+
+    This is the coupling-strength ratio that appears in the Thomson drag
+    term of the baryon Euler equation and throughout the tight-coupling
+    expansion (note: some authors call 1/R by this name; we follow
+    Ma & Bertschinger 1995).
+    """
+    a = np.asarray(a, dtype=float)
+    return 4.0 * params.omega_gamma / (3.0 * params.omega_b * a)
+
+
+def sound_speed_squared_baryons(params: CosmologyParams, a, t_baryon_k):
+    """Baryon sound speed squared c_s^2 (in c = 1 units).
+
+    c_s^2 = (k_B T_b / mu mH) (1 - (1/3) dln T_b / dln a), evaluated with
+    the adiabatic approximation dln T_b/dln a ~ -2 after decoupling and
+    ~ -1 while Compton-coupled; we use the exact derivative supplied by
+    the thermal history when available, and here take the conservative
+    coupled-limit form
+
+        c_s^2 = (k_B T_b / mu mH c^2) * (1 - (1/3) dlnTb_dlna)
+
+    with dlnTb_dlna = -1 (T_b tracks T_gamma).  The thermal-history
+    module overrides this with the exact value.
+    """
+    a = np.asarray(a, dtype=float)
+    t_b = np.asarray(t_baryon_k, dtype=float)
+    mu = mean_molecular_weight(params)
+    kt_over_mc2 = const.K_BOLTZMANN * t_b / (mu * const.M_HYDROGEN * const.C_LIGHT**2)
+    return kt_over_mc2 * (1.0 + 1.0 / 3.0)
+
+
+def mean_molecular_weight(params: CosmologyParams) -> float:
+    """Mean molecular weight per particle for a fully ionized H+He plasma.
+
+    Used only for the (tiny) baryon pressure term; the ionization-state
+    dependence is a sub-percent effect on an already sub-percent term.
+    """
+    y = params.y_he
+    # fully ionized: n = n_e + n_H + n_He = rho/mH * (2(1-y) + 3y/4)
+    return 1.0 / (2.0 * (1.0 - y) + 0.75 * y)

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror what a LINGER/PLINGER user did at the shell:
+
+* ``info``      — print the model's derived background quantities
+* ``run``       — integrate a k-grid (serial or PLINGER) and archive it
+* ``spectrum``  — C_l band powers from an archive (hierarchy method)
+* ``scaling``   — the Fig. 1 schedule simulation on a 1995 machine
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import (
+    Background,
+    KGrid,
+    LingerConfig,
+    ThermalHistory,
+    lambda_cdm,
+    mixed_dark_matter,
+    run_linger,
+    run_plinger,
+    standard_cdm,
+    tilted_cdm,
+)
+from .cluster import MACHINES, paper_cost_model, scaling_study
+from .linger import load_run, save_run
+from .spectra import band_power_uk, cobe_normalization
+from .spectra.cl import cl_integrate_over_k
+from .util import format_table
+
+__all__ = ["main", "build_parser"]
+
+MODELS = {
+    "scdm": standard_cdm,
+    "tilted": tilted_cdm,
+    "lcdm": lambda_cdm,
+    "mdm": mixed_dark_matter,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LINGER/PLINGER reproduction (Bode & Bertschinger, SC'95)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="model background summary")
+    p_info.add_argument("--model", choices=sorted(MODELS), default="scdm")
+
+    p_run = sub.add_parser("run", help="integrate a k-grid and archive it")
+    p_run.add_argument("--model", choices=sorted(MODELS), default="scdm")
+    p_run.add_argument("--k-min", type=float, default=3e-5)
+    p_run.add_argument("--k-max", type=float, default=3e-3)
+    p_run.add_argument("--nk", type=int, default=24)
+    p_run.add_argument("--lmax", type=int, default=24)
+    p_run.add_argument("--rtol", type=float, default=1e-4)
+    p_run.add_argument("--parallel", type=int, default=0, metavar="NPROC",
+                       help="run PLINGER with this many ranks (0 = serial)")
+    p_run.add_argument("--output", required=True, help="archive (.npz)")
+
+    p_spec = sub.add_parser("spectrum", help="C_l from an archive")
+    p_spec.add_argument("archive")
+    p_spec.add_argument("--l-max", type=int, default=None)
+
+    p_scal = sub.add_parser("scaling", help="Fig. 1 schedule simulation")
+    p_scal.add_argument("--machine", choices=sorted(MACHINES),
+                        default="IBM SP2")
+    p_scal.add_argument("--nk", type=int, default=500)
+    p_scal.add_argument("--nodes", type=int, nargs="+",
+                        default=[1, 2, 4, 8, 16, 32, 64, 128, 256])
+    return parser
+
+
+def cmd_info(args) -> int:
+    params = MODELS[args.model]()
+    bg = Background(params)
+    thermo = ThermalHistory(bg)
+    rows = [
+        ["h", params.h],
+        ["Omega_b", params.omega_b],
+        ["Omega_c", params.omega_c],
+        ["Omega_lambda", params.omega_lambda],
+        ["Omega_nu (massive)", params.omega_nu],
+        ["n_s", params.n_s],
+        ["Omega_gamma", params.omega_gamma],
+        ["Omega_nu (massless)", params.omega_nu_massless],
+        ["conformal age tau0 [Mpc]", bg.tau0],
+        ["a at equality", bg.a_equality_exact()],
+        ["z recombination", thermo.z_rec],
+        ["tau recombination [Mpc]", thermo.tau_rec],
+        ["x_e today", float(thermo.x_e(1.0))],
+    ]
+    if params.omega_nu > 0:
+        rows.append(["m_nu [eV]", params.nu_mass_ev])
+    print(format_table(["quantity", "value"], rows,
+                       title=f"model '{args.model}'"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    params = MODELS[args.model]()
+    kgrid = KGrid.from_k(np.linspace(args.k_min, args.k_max, args.nk))
+    config = LingerConfig(
+        lmax_photon=args.lmax,
+        rtol=args.rtol,
+        nq=8 if params.omega_nu > 0 else 0,
+        record_sources=False,
+        keep_mode_results=False,
+    )
+    if args.parallel >= 2:
+        result, stats = run_plinger(params, kgrid, config,
+                                    nproc=args.parallel, backend="procs")
+        print(f"PLINGER: {kgrid.nk} modes on {args.parallel - 1} workers, "
+              f"{stats.wall_seconds:.1f} s wallclock, "
+              f"{stats.master_bytes_received} bytes gathered")
+    else:
+        result = run_linger(params, kgrid, config)
+        print(f"LINGER: {kgrid.nk} modes, {result.wall_seconds:.1f} s")
+    path = save_run(result, args.output)
+    print(f"archived to {path}")
+    return 0
+
+
+def cmd_spectrum(args) -> int:
+    saved = load_run(args.archive)
+    theta = saved.theta_l_matrix()
+    lmax = theta.shape[1] - 1
+    l_top = (lmax - 3) if args.l_max is None else min(args.l_max, lmax - 3)
+    l = np.arange(2, l_top + 1)
+    cl = cl_integrate_over_k(saved.k, theta[:, l], n_s=saved.params.n_s)
+    cl = cl * cobe_normalization(l, cl, saved.params.q_rms_ps_uk,
+                                 saved.params.t_cmb)
+    bp = band_power_uk(l, cl, saved.params.t_cmb)
+    print(format_table(
+        ["l", "C_l", "delta-T_l [uK]"],
+        [[int(li), float(ci), float(bi)] for li, ci, bi in zip(l, cl, bp)],
+        title=f"spectrum from {args.archive}",
+    ))
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    machine = MACHINES[args.machine]
+    cm = paper_cost_model()
+    k_big = (cm.lmax_cap - cm.lmax_floor) / cm.lmax_per_ktau / cm.tau0
+    ks = np.sort(np.linspace(1e-4, k_big, args.nk))[::-1]
+    results = scaling_study(ks, machine, cm, node_counts=args.nodes)
+    print(format_table(
+        ["nodes", "wallclock [s]", "CPU total [s]", "efficiency", "Gflop/s"],
+        [[r.n_workers, r.wallclock_s, r.cpu_total_s, r.efficiency,
+          r.gflops_sustained] for r in results],
+        title=f"{machine.name}: {args.nk}-mode run",
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "run": cmd_run,
+        "spectrum": cmd_spectrum,
+        "scaling": cmd_scaling,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

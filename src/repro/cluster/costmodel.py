@@ -1,0 +1,142 @@
+"""Per-wavenumber cost and message-size model.
+
+A LINGER mode costs (RK steps) x (8 RHS evaluations) x (flops per
+evaluation).  Steps grow linearly with ``k tau0`` (the mode must
+resolve its own acoustic oscillations) and the flops per evaluation
+grow linearly with the multipole cutoff ``lmax(k) ~ k tau0``; the total
+is therefore quadratic in k with a floor, which is exactly what makes
+"compute the largest k first" the right dispatch rule.
+
+Two constructions:
+
+* :func:`paper_cost_model` — constants fitted to the paper's anchors:
+  the smallest k costs ~2 CPU-minutes on a 40-Mflop Power 2, the
+  largest ~30 minutes, results messages run from ~150 bytes to 80 kB
+  (which pins the per-hierarchy cutoff at 5000 — the paper's "up to
+  10,000 moments l" counting temperature + polarization together), and
+  the full 5000-mode production run lands near 75 C90-CPU-hours.
+
+* :func:`calibrated_cost_model` — constants measured from *this
+  package's* integrator: evolve a few modes, count RHS evaluations,
+  fit steps(k), and count the flops of our own vectorized RHS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["CostModel", "paper_cost_model", "calibrated_cost_model"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """flops(k) and message bytes(k) for one LINGER/PLINGER mode.
+
+    Attributes
+    ----------
+    tau0:
+        Conformal age [Mpc]; enters only through ``k tau0``.
+    steps_floor, steps_per_ktau:
+        RK steps = steps_floor + steps_per_ktau * (k tau0).
+    flops_base, flops_per_l:
+        flops per RHS evaluation = flops_base + flops_per_l * lmax(k).
+    lmax_floor, lmax_per_ktau, lmax_cap:
+        lmax(k) = clip(lmax_floor + lmax_per_ktau * k tau0, ., lmax_cap).
+    stages:
+        RHS evaluations per RK step (8 for the Verner pair).
+    """
+
+    tau0: float
+    steps_floor: float = 5000.0
+    steps_per_ktau: float = 3.0
+    flops_base: float = 1.2e5
+    flops_per_l: float = 36.0
+    lmax_floor: float = 8.0
+    lmax_per_ktau: float = 0.6
+    lmax_cap: float = 5000.0
+    stages: float = 8.0
+
+    def lmax(self, k) -> np.ndarray:
+        kt = np.asarray(k, dtype=float) * self.tau0
+        return np.minimum(self.lmax_floor + self.lmax_per_ktau * kt,
+                          self.lmax_cap)
+
+    def steps(self, k) -> np.ndarray:
+        kt = np.asarray(k, dtype=float) * self.tau0
+        return self.steps_floor + self.steps_per_ktau * kt
+
+    def flops(self, k) -> np.ndarray:
+        """Total floating-point operations to evolve mode ``k``."""
+        return self.steps(k) * self.stages * (
+            self.flops_base + self.flops_per_l * self.lmax(k)
+        )
+
+    def message_bytes(self, k) -> np.ndarray:
+        """Result-message size: 8 bytes per real, header + 2 lmax + 8.
+
+        Grows roughly in proportion to CPU time, to a maximum of
+        ~80 kB at lmax = 10^4, matching Section 4 of the paper.
+        """
+        return 8.0 * (21.0 + 2.0 * self.lmax(k) + 8.0)
+
+    def work_seconds(self, k, mflop_per_node: float) -> np.ndarray:
+        return self.flops(k) / (mflop_per_node * 1.0e6)
+
+
+def paper_cost_model(tau0: float = 11838.0) -> CostModel:
+    """The cost model fitted to the paper's reported anchors."""
+    return CostModel(tau0=tau0)
+
+
+def calibrated_cost_model(
+    background,
+    thermo,
+    k_samples=(0.002, 0.01, 0.05, 0.15),
+    lmax_photon: int = 12,
+    rtol: float = 1e-4,
+) -> CostModel:
+    """Measure this package's own integrator and fit the cost model.
+
+    Runs :func:`~repro.perturbations.evolve_mode` at a few wavenumbers,
+    counts accepted steps, and fits ``steps(k)``; the flops per RHS
+    evaluation follow from counting the array operations of our
+    vectorized right-hand side (about 12 flops per hierarchy entry plus
+    a fixed metric/thermo overhead).
+    """
+    from ..perturbations import evolve_mode
+
+    k_samples = np.asarray(sorted(k_samples), dtype=float)
+    if k_samples.size < 2:
+        raise ParameterError("need at least two calibration wavenumbers")
+    steps = []
+    for k in k_samples:
+        res = evolve_mode(background, thermo, float(k),
+                          lmax_photon=lmax_photon, rtol=rtol)
+        steps.append(res.stats.n_steps)
+    steps = np.asarray(steps, dtype=float)
+    tau0 = background.tau0
+    kt = k_samples * tau0
+    slope, floor = np.polyfit(kt, steps, 1)
+    slope = max(slope, 0.0)
+    floor = max(floor, 1.0)
+
+    # flops per RHS eval of *our* implementation: ~12 flops per stored
+    # multipole across the two photon hierarchies and the neutrino
+    # hierarchy, plus the metric/thermo/baryon overhead.
+    n_hier = 2 * (lmax_photon + 1) + (lmax_photon + 1)
+    flops_base = 300.0
+    flops_per_entry = 12.0
+    return CostModel(
+        tau0=tau0,
+        steps_floor=float(floor),
+        steps_per_ktau=float(slope),
+        flops_base=flops_base + flops_per_entry * n_hier,
+        flops_per_l=0.0,  # fixed lmax in our source runs
+        lmax_floor=float(lmax_photon),
+        lmax_per_ktau=0.0,
+        lmax_cap=float(lmax_photon),
+    )

@@ -1,0 +1,109 @@
+"""The 1995 machines, parameterized by what the paper reports.
+
+Sustained per-node rates are the paper's own measurements for this
+code (not peak): 570 Mflop on one C90 head (57% of the 1 Gflop peak),
+40 Mflop on a Power 2 (58 with MASS-library tuning; peak 266), and
+15 Mflop on a T3D node (a tenth of peak).  Network parameters are
+representative mid-90s values; they only matter at the ~1e-4 level for
+this embarrassingly parallel workload, which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MachineModel",
+    "CRAY_C90",
+    "IBM_SP2",
+    "IBM_SP2_TUNED",
+    "CRAY_T3D",
+    "DEC_ALPHA_CLUSTER",
+    "MACHINES",
+]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """One parallel machine (or one node class of it)."""
+
+    name: str
+    mflop_per_node: float  #: sustained on LINGER [Mflop/s]
+    peak_mflop_per_node: float
+    latency_s: float  #: per-message latency, one way
+    bandwidth_bytes_per_s: float
+    max_nodes: int
+    master_cohabits: bool = True  #: master shares a node (PVM-style)
+
+    @property
+    def node_seconds_per_flop(self) -> float:
+        return 1.0 / (self.mflop_per_node * 1.0e6)
+
+    def work_seconds(self, flops: float) -> float:
+        """Compute time for ``flops`` floating-point operations."""
+        return flops * self.node_seconds_per_flop
+
+    def message_seconds(self, nbytes: float) -> float:
+        """Transfer time for one message of ``nbytes``."""
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    @property
+    def efficiency_vs_peak(self) -> float:
+        return self.mflop_per_node / self.peak_mflop_per_node
+
+
+#: One Cray C90 head: the serial LINGER platform (570 of 1000 Mflop).
+CRAY_C90 = MachineModel(
+    name="Cray C90",
+    mflop_per_node=570.0,
+    peak_mflop_per_node=1000.0,
+    latency_s=5.0e-6,
+    bandwidth_bytes_per_s=500.0e6,
+    max_nodes=16,
+)
+
+#: IBM SP2 with Power 2 nodes, untuned code (40 of 266 Mflop).
+IBM_SP2 = MachineModel(
+    name="IBM SP2",
+    mflop_per_node=40.0,
+    peak_mflop_per_node=266.0,
+    latency_s=40.0e-6,
+    bandwidth_bytes_per_s=35.0e6,
+    max_nodes=512,
+)
+
+#: SP2 after MASS library + inlining + loop transformations (58 Mflop).
+IBM_SP2_TUNED = MachineModel(
+    name="IBM SP2 (tuned)",
+    mflop_per_node=58.0,
+    peak_mflop_per_node=266.0,
+    latency_s=40.0e-6,
+    bandwidth_bytes_per_s=35.0e6,
+    max_nodes=512,
+)
+
+#: Cray T3D nodes driven from a C90 master (15 of 150 Mflop/node).
+CRAY_T3D = MachineModel(
+    name="Cray T3D",
+    mflop_per_node=15.0,
+    peak_mflop_per_node=150.0,
+    latency_s=6.0e-6,
+    bandwidth_bytes_per_s=120.0e6,
+    max_nodes=256,
+    master_cohabits=False,  # master resides on the C90 front end
+)
+
+#: The PSC DEC Alpha cluster (farm over ethernet-class interconnect).
+DEC_ALPHA_CLUSTER = MachineModel(
+    name="DEC Alpha cluster",
+    mflop_per_node=30.0,
+    peak_mflop_per_node=200.0,
+    latency_s=500.0e-6,
+    bandwidth_bytes_per_s=1.0e6,
+    max_nodes=16,
+)
+
+MACHINES: dict[str, MachineModel] = {
+    m.name: m
+    for m in (CRAY_C90, IBM_SP2, IBM_SP2_TUNED, CRAY_T3D, DEC_ALPHA_CLUSTER)
+}

@@ -1,0 +1,124 @@
+"""Physical constants used throughout the LINGER/PLINGER reproduction.
+
+Two unit systems appear in this package:
+
+* **Cosmological units** — lengths in comoving Mpc with the speed of
+  light set to 1, so conformal time ``tau`` is also measured in Mpc and
+  the conformal Hubble rate, wavenumbers and opacities are in
+  Mpc^-1.  All perturbation equations are integrated in these units,
+  exactly as in the original LINGER code.
+
+* **CGS units** — used only inside the thermodynamics module, where
+  atomic physics (recombination rates, Thomson scattering) is most
+  naturally expressed.
+
+The numerical values follow the compilations current in the mid-1990s
+(the era of the paper); tiny differences from modern CODATA values are
+irrelevant at the accuracy targeted here.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Fundamental constants (CGS)
+# ---------------------------------------------------------------------------
+
+#: Speed of light [cm s^-1].
+C_LIGHT = 2.99792458e10
+
+#: Gravitational constant [cm^3 g^-1 s^-2].
+G_NEWTON = 6.6742e-8
+
+#: Boltzmann constant [erg K^-1].
+K_BOLTZMANN = 1.380658e-16
+
+#: Planck constant [erg s].
+H_PLANCK = 6.6260755e-27
+
+#: Reduced Planck constant [erg s].
+HBAR = H_PLANCK / (2.0 * math.pi)
+
+#: Electron mass [g].
+M_ELECTRON = 9.1093897e-28
+
+#: Proton mass [g].
+M_PROTON = 1.6726231e-24
+
+#: Hydrogen atom mass [g].
+M_HYDROGEN = 1.673725e-24
+
+#: Thomson scattering cross-section [cm^2].
+SIGMA_THOMSON = 6.6524616e-25
+
+#: Radiation constant a_rad = 4 sigma_SB / c [erg cm^-3 K^-4].
+A_RAD = 7.565914e-15
+
+#: Electron-volt [erg].
+EV = 1.60217733e-12
+
+# ---------------------------------------------------------------------------
+# Atomic physics for recombination
+# ---------------------------------------------------------------------------
+
+#: Hydrogen ionization energy [erg] (13.605698 eV).
+E_ION_H = 13.605698 * EV
+
+#: Singlet helium first ionization energy [erg] (24.587 eV).
+E_ION_HE1 = 24.587 * EV
+
+#: Helium second ionization energy [erg] (54.416 eV).
+E_ION_HE2 = 54.416 * EV
+
+#: Two-photon decay rate of hydrogen 2s level [s^-1].
+LAMBDA_2S_1S = 8.227
+
+# ---------------------------------------------------------------------------
+# Astronomical conversions
+# ---------------------------------------------------------------------------
+
+#: One megaparsec [cm].
+MPC_CM = 3.085678e24
+
+#: One megaparsec expressed in seconds of light travel time [s].
+MPC_S = MPC_CM / C_LIGHT
+
+#: Hubble constant prefactor: H0 = 100 h km/s/Mpc expressed in Mpc^-1
+#: (cosmological units, c = 1).  H0 [Mpc^-1] = h / HUBBLE_MPC.
+HUBBLE_MPC = 2997.92458
+
+#: Kilometre [cm] (for unit conversions in user-facing helpers).
+KM_CM = 1.0e5
+
+# ---------------------------------------------------------------------------
+# CMB and neutrino background
+# ---------------------------------------------------------------------------
+
+#: FIRAS CMB temperature used by the paper [K].
+T_CMB_K = 2.726
+
+#: Neutrino-to-photon temperature ratio (4/11)^(1/3).
+T_NU_OVER_T_GAMMA = (4.0 / 11.0) ** (1.0 / 3.0)
+
+#: Fermionic energy-density factor per massless two-component neutrino
+#: species relative to photons: (7/8) (4/11)^(4/3).
+NU_MASSLESS_FACTOR = (7.0 / 8.0) * (4.0 / 11.0) ** (4.0 / 3.0)
+
+
+def omega_gamma_h2(t_cmb: float = T_CMB_K) -> float:
+    """Photon density parameter times ``h^2`` for temperature ``t_cmb``.
+
+    Computed from first principles: ``rho_gamma = a_rad T^4 / c^2`` and
+    ``rho_crit = 3 H0^2 / (8 pi G)``.
+    """
+    rho_gamma = A_RAD * t_cmb**4 / C_LIGHT**2  # g cm^-3
+    h0 = 100.0 * KM_CM / MPC_CM  # s^-1 for h = 1
+    rho_crit = 3.0 * h0**2 / (8.0 * math.pi * G_NEWTON)
+    return rho_gamma / rho_crit
+
+
+def rho_critical_cgs(h: float) -> float:
+    """Critical density today [g cm^-3] for Hubble parameter ``h``."""
+    h0 = 100.0 * h * KM_CM / MPC_CM
+    return 3.0 * h0**2 / (8.0 * math.pi * G_NEWTON)

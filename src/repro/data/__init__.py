@@ -1,0 +1,21 @@
+"""Observational data for Fig. 2: the 1995 bandpower compilation.
+
+The paper overlays its theory curve on "experimental measurements of
+the CMB anisotropy ... available as part of the COSAPP software
+package" (Dave & Steinhardt, U. Penn).  That package is long gone;
+:mod:`experiments` embeds an approximate transcription of the standard
+mid-1995 compilation (COBE through OVRO) with the caveats documented
+per point, and :mod:`cobe` carries the COBE two-year normalization.
+"""
+
+from .cobe import COBE_QRMS_PS_UK, COBE_QRMS_PS_SIGMA_UK, COBE_T0_K
+from .experiments import BandPower, COMPILATION_1995, bandpowers_as_arrays
+
+__all__ = [
+    "BandPower",
+    "COMPILATION_1995",
+    "bandpowers_as_arrays",
+    "COBE_QRMS_PS_UK",
+    "COBE_QRMS_PS_SIGMA_UK",
+    "COBE_T0_K",
+]

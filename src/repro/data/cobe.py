@@ -1,0 +1,10 @@
+"""COBE DMR two-year results used for normalization (Bennett et al. 1994)."""
+
+#: Q_rms-PS for an n = 1 spectrum, two-year DMR maps [micro-Kelvin].
+COBE_QRMS_PS_UK = 18.0
+
+#: Approximate 1-sigma uncertainty on Q_rms-PS [micro-Kelvin].
+COBE_QRMS_PS_SIGMA_UK = 1.6
+
+#: FIRAS monopole temperature [K] (Mather et al. 1994 era value).
+COBE_T0_K = 2.726

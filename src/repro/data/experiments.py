@@ -1,0 +1,84 @@
+"""The mid-1995 CMB anisotropy bandpower compilation.
+
+Each entry is the flat-bandpower amplitude delta-T_l =
+T0 sqrt(l(l+1) C_l / 2 pi) in micro-Kelvin at an effective multipole,
+as compiled in the 1995-era reviews (Steinhardt 1995; Scott, Silk &
+White 1995) that the COSAPP package distributed.  Values here are
+approximate transcriptions from those public compilations — adequate
+for overlaying on a theory curve, which is all Fig. 2 does with them —
+and each carries the experiment name and an honesty note.
+
+The two leftmost points of the paper's figure are the COBE first- and
+second-year data at ten-degree scales; the rest are balloon and
+ground-based experiments at degree and sub-degree scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BandPower", "COMPILATION_1995", "bandpowers_as_arrays"]
+
+
+@dataclass(frozen=True)
+class BandPower:
+    """One experiment's flat-band power estimate."""
+
+    experiment: str
+    l_eff: float  #: effective multipole of the window
+    l_lo: float  #: approximate lower edge of the window
+    l_hi: float  #: approximate upper edge of the window
+    delta_t_uk: float  #: band power [uK]
+    err_plus_uk: float
+    err_minus_uk: float
+    note: str = ""
+
+    @property
+    def is_upper_limit(self) -> bool:
+        return self.err_minus_uk >= self.delta_t_uk
+
+
+#: Approximate mid-1995 compilation (see module docstring for caveats).
+COMPILATION_1995: tuple[BandPower, ...] = (
+    BandPower("COBE DMR yr1", 4, 2, 10, 30.0, 7.0, 7.0,
+              "first-year map, ten-degree scales"),
+    BandPower("COBE DMR yr2", 8, 3, 20, 29.0, 4.0, 4.0,
+              "two-year map, Q_rms-PS = 18 uK for n=1"),
+    BandPower("FIRS", 10, 3, 30, 29.0, 8.0, 8.0, "balloon, 170 GHz"),
+    BandPower("Tenerife", 20, 13, 30, 34.0, 13.0, 12.0, "ground, 10-33 GHz"),
+    BandPower("SP91", 60, 30, 110, 30.0, 9.0, 6.0, "South Pole 1991"),
+    BandPower("SP94", 60, 30, 110, 36.0, 10.0, 7.0, "South Pole 1994"),
+    BandPower("Saskatoon 93-94", 80, 50, 130, 44.0, 12.0, 9.0,
+              "ground, Ka band"),
+    BandPower("Python", 90, 50, 130, 49.0, 10.0, 9.0, "South Pole bolometers"),
+    BandPower("ARGO", 98, 60, 150, 39.0, 7.0, 6.0, "balloon, 0.9 degree beam"),
+    BandPower("IAB", 125, 80, 180, 55.0, 25.0, 18.0, "Antarctic balloon"),
+    BandPower("MAX GUM", 145, 90, 220, 46.0, 11.0, 9.0,
+              "MAX 4th flight, GUM region"),
+    BandPower("MAX mu-Peg", 145, 90, 220, 30.0, 12.0, 9.0,
+              "MAX 4th flight, mu Pegasi (dustier)"),
+    BandPower("MSAM", 160, 100, 240, 50.0, 13.0, 11.0, "balloon, 1992 flight"),
+    BandPower("White Dish", 500, 350, 700, 45.0, 45.0, 45.0,
+              "upper limit at half-degree scales"),
+    BandPower("OVRO-22", 600, 400, 800, 37.0, 37.0, 37.0,
+              "upper limit; Owens Valley ring"),
+)
+
+
+def bandpowers_as_arrays(
+    compilation: tuple[BandPower, ...] = COMPILATION_1995,
+    include_upper_limits: bool = True,
+) -> dict[str, np.ndarray]:
+    """Columns (l_eff, delta_t, err+, err-) as arrays for plotting."""
+    rows = [
+        b for b in compilation if include_upper_limits or not b.is_upper_limit
+    ]
+    return {
+        "l_eff": np.array([b.l_eff for b in rows]),
+        "delta_t_uk": np.array([b.delta_t_uk for b in rows]),
+        "err_plus_uk": np.array([b.err_plus_uk for b in rows]),
+        "err_minus_uk": np.array([b.err_minus_uk for b in rows]),
+        "experiment": np.array([b.experiment for b in rows]),
+    }

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all package-specific errors."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An invalid cosmological or numerical parameter was supplied."""
+
+
+class IntegrationError(ReproError, RuntimeError):
+    """The ODE integrator failed (step size underflow, too many steps...)."""
+
+
+class MessagePassingError(ReproError, RuntimeError):
+    """A message-passing wrapper routine was misused or a backend failed."""
+
+
+class ProtocolError(MessagePassingError):
+    """The PLINGER master/worker protocol was violated (bad tag/sequence)."""
+
+
+class ScheduleError(ReproError, RuntimeError):
+    """The cluster schedule simulator received an inconsistent setup."""

@@ -1,0 +1,66 @@
+"""Adaptive step-size control for embedded Runge-Kutta pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StepController"]
+
+
+@dataclass
+class StepController:
+    """A proportional-integral (PI) step-size controller.
+
+    The error norm is the RMS of the componentwise error divided by the
+    tolerance scale ``atol + rtol * max(|y|, |y_new|)``; a step is
+    accepted when the norm is <= 1.
+
+    Attributes
+    ----------
+    order:
+        Order of the *lower* solution + 1 (the exponent base used in
+        classical controllers: err ~ h^(order)).
+    safety:
+        Multiplicative safety factor on the predicted step.
+    min_factor, max_factor:
+        Clamp on the step-size change per step.
+    beta:
+        PI integral gain; 0 recovers the classical I controller.
+    """
+
+    order: int
+    safety: float = 0.9
+    min_factor: float = 0.2
+    max_factor: float = 5.0
+    beta: float = 0.04
+    _prev_err: float = 1.0
+
+    def error_norm(
+        self,
+        err: np.ndarray,
+        y_old: np.ndarray,
+        y_new: np.ndarray,
+        rtol: float,
+        atol: float | np.ndarray,
+    ) -> float:
+        scale = atol + rtol * np.maximum(np.abs(y_old), np.abs(y_new))
+        ratio = err / scale
+        return float(np.sqrt(np.mean(ratio * ratio)))
+
+    def factor(self, err_norm: float) -> float:
+        """Step-size multiplier after a step with the given error norm."""
+        if err_norm == 0.0:
+            return self.max_factor
+        k = 1.0 / self.order
+        fac = self.safety * err_norm ** (-(k - self.beta)) * self._prev_err**(
+            -self.beta
+        )
+        return float(np.clip(fac, self.min_factor, self.max_factor))
+
+    def accept(self, err_norm: float) -> bool:
+        ok = err_norm <= 1.0
+        if ok:
+            self._prev_err = max(err_norm, 1e-10)
+        return ok

@@ -1,0 +1,45 @@
+"""The Fehlberg 4(5) pair — cross-check integrator.
+
+Having a second, independently transcribed tableau lets the test-suite
+verify that LINGER results do not depend on the integrator (the paper's
+accuracy claim rests on the physics, not on DVERK specifically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dverk import RKDriver
+from .tableau import ButcherTableau
+
+__all__ = ["FEHLBERG_45_TABLEAU", "RKF45"]
+
+
+def _fehlberg_45() -> ButcherTableau:
+    a = np.zeros((6, 6))
+    a[1, 0] = 1.0 / 4.0
+    a[2, :2] = (3.0 / 32.0, 9.0 / 32.0)
+    a[3, :3] = (1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0)
+    a[4, :4] = (439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0)
+    a[5, :5] = (-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0,
+                -11.0 / 40.0)
+    # 5th-order solution (propagated) and embedded 4th-order solution.
+    b5 = np.array([16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0,
+                   -9.0 / 50.0, 2.0 / 55.0])
+    b4 = np.array([25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0,
+                   -1.0 / 5.0, 0.0])
+    c = np.array([0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0])
+    return ButcherTableau(a=a, b_high=b5, b_low=b4, c=c, order_high=5,
+                          order_low=4, name="fehlberg-4(5)")
+
+
+#: The classical RKF45 tableau.
+FEHLBERG_45_TABLEAU = _fehlberg_45()
+
+
+class RKF45(RKDriver):
+    """Adaptive driver over the Fehlberg 4(5) pair."""
+
+    def __init__(self, rhs, **kwargs) -> None:
+        kwargs.setdefault("tableau", FEHLBERG_45_TABLEAU)
+        super().__init__(rhs, **kwargs)

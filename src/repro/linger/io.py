@@ -1,0 +1,139 @@
+"""LINGER output files.
+
+The original code writes two files per run: an ascii file with the
+per-mode summary values and a binary file with the multipole arrays.
+This module provides both (the ascii format is the 21-column record,
+one line per mode; the "binary" file is a compressed .npz), plus a
+round-trippable archive of a whole run that can be reloaded for
+spectrum post-processing without re-integrating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..params import CosmologyParams
+from .records import HEADER_LENGTH, ModeHeader, ModePayload
+
+__all__ = [
+    "write_ascii_headers",
+    "read_ascii_headers",
+    "save_run",
+    "load_run",
+    "SavedRun",
+]
+
+
+def write_ascii_headers(result, path) -> Path:
+    """One line of 21 columns per mode — LINGER's ascii output file."""
+    path = Path(path)
+    with open(path, "w") as fh:
+        fh.write("# LINGER mode summaries: 21 columns per mode\n")
+        fh.write("# ik k tau_end a_end delta_c delta_b delta_g delta_nu "
+                 "delta_nu_massive theta_b theta_g theta_nu eta hdot "
+                 "etadot phi psi delta_m cpu_seconds n_rhs lmax\n")
+        for h in result.headers:
+            fh.write(" ".join(f"{v:.10e}" for v in h.pack()) + "\n")
+    return path
+
+
+def read_ascii_headers(path) -> list[ModeHeader]:
+    """Parse a file written by :func:`write_ascii_headers`."""
+    headers = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        values = np.array([float(v) for v in line.split()])
+        if values.size != HEADER_LENGTH:
+            raise ParameterError(
+                f"malformed header line with {values.size} columns"
+            )
+        headers.append(ModeHeader.unpack(values))
+    return headers
+
+
+@dataclass
+class SavedRun:
+    """A reloaded LINGER run: enough for spectrum post-processing."""
+
+    params: CosmologyParams
+    k: np.ndarray
+    headers: list[ModeHeader]
+    payloads: list[ModePayload]
+
+    @property
+    def delta_m(self) -> np.ndarray:
+        return np.array([h.delta_m for h in self.headers])
+
+    def theta_l_matrix(self) -> np.ndarray:
+        lmaxes = {p.lmax for p in self.payloads}
+        if len(lmaxes) != 1:
+            raise ParameterError("theta_l_matrix requires a fixed-lmax run")
+        return np.stack([p.f_gamma / 4.0 for p in self.payloads])
+
+
+_PARAM_FIELDS = [f.name for f in fields(CosmologyParams)]
+
+
+def save_run(result, path) -> Path:
+    """Archive a (P)LINGER run: parameters, headers and payloads.
+
+    The source records (``result.modes``) are deliberately not stored —
+    they are the working state of a run, not its product, exactly as the
+    original code only persisted the two output files.
+    """
+    path = Path(path)
+    header_matrix = np.stack([h.pack() for h in result.headers])
+    payload_rows = [p.pack() for p in result.payloads]
+    lengths = np.array([row.size for row in payload_rows])
+    payload_flat = np.concatenate(payload_rows)
+    param_values = np.array(
+        [float(getattr(result.params, name)) for name in _PARAM_FIELDS]
+    )
+    np.savez_compressed(
+        path,
+        format_version=np.array([1]),
+        param_names=np.array(_PARAM_FIELDS),
+        param_values=param_values,
+        k=np.asarray(result.kgrid.k if hasattr(result, "kgrid") else result.k),
+        headers=header_matrix,
+        payload_lengths=lengths,
+        payload_flat=payload_flat,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_run(path) -> SavedRun:
+    """Reload an archive written by :func:`save_run`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if int(data["format_version"][0]) != 1:
+            raise ParameterError("unknown archive format version")
+        kwargs = {}
+        for name, value in zip(data["param_names"], data["param_values"]):
+            name = str(name)
+            if name in ("n_nu_massive",):
+                kwargs[name] = int(value)
+            else:
+                kwargs[name] = float(value)
+        params = CosmologyParams(**kwargs)
+        headers = [ModeHeader.unpack(row) for row in data["headers"]]
+        payloads = []
+        offset = 0
+        flat = data["payload_flat"]
+        for h, length in zip(headers, data["payload_lengths"]):
+            row = flat[offset : offset + int(length)]
+            offset += int(length)
+            payloads.append(ModePayload.unpack(row, h.lmax))
+        return SavedRun(
+            params=params,
+            k=np.asarray(data["k"]),
+            headers=headers,
+            payloads=payloads,
+        )

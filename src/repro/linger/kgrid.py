@@ -1,0 +1,96 @@
+"""Wavenumber grids and the paper's work-ordering.
+
+The paper integrates up to 5000 k-points; larger wavenumbers need more
+multipoles and therefore more CPU, so the master hands out "the largest
+k first" to minimize end-of-run idle time (§5.2).  :class:`KGrid`
+carries both the physical grid and that dispatch ordering (the paper's
+``ik_next``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..background import Background
+from ..errors import ParameterError
+
+__all__ = ["KGrid", "cl_kgrid", "matter_kgrid"]
+
+
+@dataclass(frozen=True)
+class KGrid:
+    """A k-sample with dispatch ordering.
+
+    ``k`` is ascending; ``dispatch_order`` lists indices in the order
+    the master hands them to workers (descending k by default).
+    """
+
+    k: np.ndarray
+    dispatch_order: np.ndarray
+
+    def __post_init__(self) -> None:
+        k = np.asarray(self.k, dtype=float)
+        if k.ndim != 1 or k.size == 0:
+            raise ParameterError("k grid must be a non-empty 1-d array")
+        if np.any(k <= 0.0) or np.any(np.diff(k) <= 0.0):
+            raise ParameterError("k grid must be positive and strictly increasing")
+        order = np.asarray(self.dispatch_order, dtype=int)
+        if sorted(order.tolist()) != list(range(k.size)):
+            raise ParameterError("dispatch_order must be a permutation of the grid")
+        object.__setattr__(self, "k", k)
+        object.__setattr__(self, "dispatch_order", order)
+
+    @classmethod
+    def from_k(cls, k, largest_first: bool = True) -> "KGrid":
+        k = np.sort(np.asarray(k, dtype=float))
+        order = np.argsort(-k) if largest_first else np.arange(k.size)
+        return cls(k=k, dispatch_order=order)
+
+    @property
+    def nk(self) -> int:
+        return int(self.k.size)
+
+    def __iter__(self):
+        return iter(self.k)
+
+    def __len__(self) -> int:
+        return self.nk
+
+
+def cl_kgrid(
+    background: Background,
+    l_max: int = 600,
+    k_min: float | None = None,
+    points_per_period: float = 1.5,
+    nk_cap: int = 5000,
+) -> KGrid:
+    """A k-grid suited to C_l integration up to multipole ``l_max``.
+
+    The transfer functions Theta_l(k) oscillate with period
+    ``~2 pi / tau0`` in k (projection) on top of the acoustic
+    oscillations of period ``~2 pi / r_s``; a uniform grid with a few
+    points per projection period integrates them accurately.  The upper
+    edge is ``k_max ~ l_max / tau0`` plus margin.
+    """
+    tau0 = background.tau0
+    if k_min is None:
+        k_min = 0.3 / tau0
+    k_max = 1.35 * l_max / tau0
+    dk = 2.0 * np.pi / tau0 / points_per_period
+    nk = int(np.ceil((k_max - k_min) / dk)) + 1
+    if nk > nk_cap:
+        nk = nk_cap
+    return KGrid.from_k(np.linspace(k_min, k_max, nk))
+
+
+def matter_kgrid(
+    k_min: float = 1e-4,
+    k_max: float = 2.0,
+    nk: int = 60,
+) -> KGrid:
+    """A log-spaced grid for the matter transfer function / P(k)."""
+    if not 0 < k_min < k_max:
+        raise ParameterError("need 0 < k_min < k_max")
+    return KGrid.from_k(np.geomspace(k_min, k_max, nk))

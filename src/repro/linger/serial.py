@@ -1,0 +1,235 @@
+"""The serial LINGER driver: loop over k, integrate, collect records.
+
+:func:`compute_mode` is the unit of work — the same function a PLINGER
+worker executes for each wavenumber the master hands it.
+:func:`run_linger` is the serial main loop over the whole grid.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..background import Background
+from ..errors import ParameterError
+from ..params import CosmologyParams
+from ..perturbations import ModeResult, default_record_grid, evolve_mode
+from ..thermo import ThermalHistory
+from .kgrid import KGrid
+from .records import ModeHeader, ModePayload
+
+__all__ = ["LingerConfig", "LingerResult", "compute_mode", "run_linger"]
+
+
+@dataclass(frozen=True)
+class LingerConfig:
+    """Numerical configuration of a LINGER run.
+
+    ``lmax_mode``:
+      * ``"fixed"``  — every mode uses ``lmax_photon`` (source runs for
+        the line-of-sight C_l integration);
+      * ``"scaled"`` — lmax grows with k as the paper describes
+        (``lmax ~ k tau0`` capped to ``lmax_cap``), used for
+        full-hierarchy runs and for the message-economics benchmarks.
+    """
+
+    lmax_photon: int = 12
+    lmax_nu: int = 12
+    nq: int = 0
+    lmax_massive_nu: int = 10
+    rtol: float = 1e-5
+    atol: float = 1e-9
+    tca_eps: float = 0.01
+    record_sources: bool = True
+    keep_mode_results: bool = True
+    tau_end: float | None = None
+    amplitude: float = 1.0
+    lmax_mode: str = "fixed"
+    lmax_margin: float = 1.2
+    lmax_cap: int = 2000
+
+    def lmax_for_k(self, k: float, tau_span: float) -> int:
+        if self.lmax_mode == "fixed":
+            return self.lmax_photon
+        if self.lmax_mode == "scaled":
+            return int(
+                min(max(self.lmax_photon, self.lmax_margin * k * tau_span + 8),
+                    self.lmax_cap)
+            )
+        raise ParameterError(f"unknown lmax_mode {self.lmax_mode!r}")
+
+
+def compute_mode(
+    background: Background,
+    thermo: ThermalHistory,
+    k: float,
+    ik: int,
+    config: LingerConfig,
+) -> tuple[ModeHeader, ModePayload, ModeResult]:
+    """Integrate one wavenumber and build the two output records.
+
+    This is exactly the work between "receive a wavenumber" and "send
+    the results to the master" in the paper's worker subroutine.
+    """
+    tau_end = background.tau0 if config.tau_end is None else config.tau_end
+    lmax = config.lmax_for_k(k, tau_end)
+    record_tau = (
+        default_record_grid(background, thermo, k, tau_end=tau_end)
+        if config.record_sources
+        else None
+    )
+    cpu0 = time.process_time()
+    mode = evolve_mode(
+        background,
+        thermo,
+        k,
+        lmax_photon=lmax,
+        lmax_nu=config.lmax_nu,
+        nq=config.nq,
+        lmax_massive_nu=config.lmax_massive_nu,
+        tau_end=tau_end,
+        record_tau=record_tau,
+        rtol=config.rtol,
+        atol=config.atol,
+        tca_eps=config.tca_eps,
+        amplitude=config.amplitude,
+    )
+    cpu = time.process_time() - cpu0
+
+    lo = mode.layout
+    y = mode.y_final
+    # final-state observables via a one-point record
+    from ..perturbations.evolve import _Recorder
+    from ..perturbations.system import PerturbationSystem
+
+    system = PerturbationSystem(background, thermo, k, lo)
+    rec = _Recorder(system, 1)
+    rec.tight = False
+    rec(mode.tau_end, y)
+    obs = {name: arr[0] for name, arr in rec.arrays.items()}
+
+    header = ModeHeader(
+        ik=ik,
+        k=k,
+        tau_end=mode.tau_end,
+        a_end=obs["a"],
+        delta_c=obs["delta_c"],
+        delta_b=obs["delta_b"],
+        delta_g=obs["delta_g"],
+        delta_nu=obs["delta_nu"],
+        delta_nu_massive=obs["delta_nu_massive"],
+        theta_b=obs["theta_b"],
+        theta_g=obs["theta_g"],
+        theta_nu=obs["theta_nu"],
+        eta=obs["eta"],
+        hdot=obs["hdot"],
+        etadot=obs["etadot"],
+        phi=obs["phi"],
+        psi=obs["psi"],
+        delta_m=obs["delta_m"],
+        cpu_seconds=cpu,
+        n_rhs=float(mode.stats.n_rhs),
+        lmax=lo.lmax_photon,
+    )
+    payload = ModePayload(
+        ik=ik,
+        k=k,
+        tau_end=mode.tau_end,
+        a_end=obs["a"],
+        amplitude=config.amplitude,
+        n_steps=float(mode.stats.n_steps),
+        f_gamma=mode.f_gamma_final,
+        g_gamma=mode.g_gamma_final,
+    )
+    return header, payload, mode
+
+
+@dataclass
+class LingerResult:
+    """Everything a LINGER run produces, ordered by ascending k."""
+
+    params: CosmologyParams
+    kgrid: KGrid
+    config: LingerConfig
+    headers: list[ModeHeader]
+    payloads: list[ModePayload]
+    modes: list[ModeResult | None]
+    background: Background
+    thermo: ThermalHistory
+    wall_seconds: float = 0.0
+
+    @property
+    def k(self) -> np.ndarray:
+        return self.kgrid.k
+
+    @property
+    def cpu_seconds(self) -> np.ndarray:
+        return np.array([h.cpu_seconds for h in self.headers])
+
+    @property
+    def delta_m(self) -> np.ndarray:
+        """Matter perturbation today per k (transfer-function input)."""
+        return np.array([h.delta_m for h in self.headers])
+
+    def theta_l_matrix(self) -> np.ndarray:
+        """(nk, lmax+1) matrix of Theta_l = F_l/4 today.
+
+        Requires a fixed-lmax run (all payloads the same length).
+        """
+        lmaxes = {p.lmax for p in self.payloads}
+        if len(lmaxes) != 1:
+            raise ParameterError("theta_l_matrix requires a fixed-lmax run")
+        return np.stack([p.f_gamma / 4.0 for p in self.payloads])
+
+
+def run_linger(
+    params: CosmologyParams,
+    kgrid: KGrid,
+    config: LingerConfig | None = None,
+    background: Background | None = None,
+    thermo: ThermalHistory | None = None,
+    progress: bool = False,
+) -> LingerResult:
+    """The serial LINGER main loop.
+
+    Wavenumbers are *computed* in dispatch order (largest first, as the
+    paper does) but the result lists are returned in ascending-k order.
+    """
+    config = config or LingerConfig()
+    background = background or Background(params)
+    thermo = thermo or ThermalHistory(background)
+
+    nk = kgrid.nk
+    headers: list[ModeHeader | None] = [None] * nk
+    payloads: list[ModePayload | None] = [None] * nk
+    modes: list[ModeResult | None] = [None] * nk
+
+    wall0 = time.perf_counter()
+    for count, idx in enumerate(kgrid.dispatch_order):
+        k = float(kgrid.k[idx])
+        header, payload, mode = compute_mode(
+            background, thermo, k, ik=idx + 1, config=config
+        )
+        headers[idx] = header
+        payloads[idx] = payload
+        modes[idx] = mode if config.keep_mode_results else None
+        if progress:
+            print(
+                f"[linger] {count + 1}/{nk} k={k:.5f} "
+                f"cpu={header.cpu_seconds:.2f}s steps={payload.n_steps:.0f}"
+            )
+    wall = time.perf_counter() - wall0
+
+    return LingerResult(
+        params=params,
+        kgrid=kgrid,
+        config=config,
+        headers=headers,  # type: ignore[arg-type]
+        payloads=payloads,  # type: ignore[arg-type]
+        modes=modes,
+        background=background,
+        thermo=thermo,
+        wall_seconds=wall,
+    )

@@ -1,0 +1,196 @@
+"""The eight PLINGER message-passing wrapper routines.
+
+The paper (Appendix A) defines this exact interface and implements it
+over PVM, MPI, MPL and PVMe.  :class:`MessagePassing` is the per-rank
+handle; a :class:`World` owns the mailboxes and constructs handles.
+Semantics follow the paper's MPI implementation:
+
+* ``mycheckany``  — block until *some* message is pending; return its
+  (tag, source) without consuming it (MPI_PROBE(ANY, ANY)).
+* ``mycheckone``  — block until a message with the given tag from the
+  given source is pending (MPI_PROBE(src, tag)).
+* ``mychecktid``  — block until any message from the given source is
+  pending; return its tag (MPI_PROBE(src, ANY)).
+* ``myrecvreal``  — consume the first pending message matching
+  (tag, source); the length must match exactly (protocol check).
+* ``mybcastreal`` — master sends the buffer to every other rank (the
+  paper implements broadcast as a send loop).
+
+Every handle counts messages and payload bytes so the benchmarks can
+report the paper's message-economics table directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import MessagePassingError
+from .message import Message
+
+__all__ = ["MessagePassing", "World", "get_backend", "available_backends"]
+
+
+@dataclass
+class TrafficStats:
+    """Per-rank accounting of message traffic."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+
+    def note_send(self, msg: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += msg.nbytes
+
+    def note_recv(self, msg: Message) -> None:
+        self.messages_received += 1
+        self.bytes_received += msg.nbytes
+
+
+class MessagePassing(abc.ABC):
+    """Abstract per-rank handle implementing the wrapper routines."""
+
+    def __init__(self, rank: int, nproc: int, mastid: int = 0) -> None:
+        self._rank = rank
+        self._nproc = nproc
+        self._mastid = mastid
+        self._initialized = False
+        self.stats = TrafficStats()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initpass(self) -> tuple[int, int]:
+        """Initialize message passing; returns (mytid, mastid)."""
+        self._initialized = True
+        return self._rank, self._mastid
+
+    def endpass(self) -> None:
+        """Exit message passing."""
+        self._initialized = False
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise MessagePassingError("initpass() has not been called")
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def mytid(self) -> int:
+        return self._rank
+
+    @property
+    def mastid(self) -> int:
+        return self._mastid
+
+    @property
+    def nproc(self) -> int:
+        return self._nproc
+
+    # -- transport primitives (backend-specific) ----------------------------
+
+    @abc.abstractmethod
+    def _deliver(self, target: int, msg: Message) -> None:
+        """Enqueue ``msg`` in ``target``'s mailbox."""
+
+    @abc.abstractmethod
+    def _probe(self, tag: int | None, source: int | None) -> Message:
+        """Block until a matching message is pending; return it without
+        consuming it."""
+
+    @abc.abstractmethod
+    def _consume(self, tag: int, source: int) -> Message:
+        """Block until a matching message is pending; remove and return it."""
+
+    # -- the paper's routines -------------------------------------------------
+
+    def mysendreal(self, buffer, msgtype: int, target: int) -> None:
+        """Send ``buffer`` (float64 values) with tag ``msgtype`` to ``target``."""
+        self._require_init()
+        if not 0 <= target < self._nproc:
+            raise MessagePassingError(f"invalid target rank {target}")
+        msg = Message.make(self._rank, msgtype, buffer)
+        self.stats.note_send(msg)
+        self._deliver(target, msg)
+
+    def mybcastreal(self, buffer, msgtype: int) -> None:
+        """Send ``buffer`` to every other rank (the paper's send loop)."""
+        self._require_init()
+        for target in range(self._nproc):
+            if target != self._rank:
+                self.mysendreal(buffer, msgtype, target)
+
+    def mycheckany(self) -> tuple[int, int]:
+        """Wait for a message of any type from any process.
+
+        Returns (msgtype, source)."""
+        self._require_init()
+        msg = self._probe(None, None)
+        return msg.tag, msg.source
+
+    def mycheckone(self, msgtype: int, target: int) -> None:
+        """Wait for a message of type ``msgtype`` from ``target``."""
+        self._require_init()
+        self._probe(msgtype, target)
+
+    def mychecktid(self, target: int) -> int:
+        """Wait for a message of any type from ``target``; return its tag."""
+        self._require_init()
+        return self._probe(None, target).tag
+
+    def myrecvreal(self, length: int, msgtype: int, target: int) -> np.ndarray:
+        """Receive ``length`` float64 values of type ``msgtype`` from
+        ``target``."""
+        self._require_init()
+        msg = self._consume(msgtype, target)
+        if msg.length != length:
+            raise MessagePassingError(
+                f"rank {self._rank}: expected {length} reals "
+                f"(tag {msgtype} from {target}), got {msg.length}"
+            )
+        self.stats.note_recv(msg)
+        return msg.data.copy()
+
+
+class World(abc.ABC):
+    """A communicator: owns the mailboxes, constructs per-rank handles."""
+
+    def __init__(self, nproc: int) -> None:
+        if nproc < 1:
+            raise MessagePassingError("nproc must be >= 1")
+        self.nproc = nproc
+
+    @abc.abstractmethod
+    def handle(self, rank: int) -> MessagePassing:
+        """The message-passing handle for ``rank``."""
+
+
+def available_backends() -> tuple[str, ...]:
+    return ("serial", "inprocess", "procs")
+
+
+def get_backend(name: str, nproc: int) -> World:
+    """Construct a :class:`World` for the named backend.
+
+    ``serial`` supports only nproc=1 (loopback); ``inprocess`` runs
+    ranks as threads in this process; ``procs`` runs ranks as forked
+    processes (the closest local analogue of PVM/MPI daemons).
+    """
+    if name == "serial":
+        from .backends.serial import SerialWorld
+
+        return SerialWorld(nproc)
+    if name == "inprocess":
+        from .backends.inprocess import InProcessWorld
+
+        return InProcessWorld(nproc)
+    if name == "procs":
+        from .backends.procs import ProcsWorld
+
+        return ProcsWorld(nproc)
+    raise MessagePassingError(
+        f"unknown backend {name!r}; choose from {available_backends()}"
+    )

@@ -1,0 +1,1 @@
+"""Concrete transports for the message-passing wrapper API."""

@@ -1,0 +1,97 @@
+"""Fault-injecting transport wrapper (testing substrate).
+
+Wraps any world and perturbs deliveries according to a policy: drop,
+duplicate, truncate, or re-tag selected messages.  The PLINGER protocol
+is supposed to *fail loudly* (ProtocolError / MessagePassingError /
+probe timeout) rather than silently mis-assemble a run — the
+failure-injection tests use this world to prove it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..api import MessagePassing, World
+from ..message import Message
+
+__all__ = ["FaultPolicy", "FaultyWorld"]
+
+
+@dataclass
+class FaultPolicy:
+    """What to do to each delivered message.
+
+    ``selector(msg, count)`` picks victims (count = running index of
+    deliveries); exactly one action applies to a selected message.
+    """
+
+    selector: Callable[[Message, int], bool]
+    action: str = "drop"  #: drop | duplicate | truncate | retag
+    retag_to: int = 99
+
+    def __post_init__(self) -> None:
+        if self.action not in ("drop", "duplicate", "truncate", "retag"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+
+class FaultyWorld(World):
+    """A world whose deliveries pass through a fault policy."""
+
+    def __init__(self, inner: World, policy: FaultPolicy) -> None:
+        super().__init__(inner.nproc)
+        self._inner = inner
+        self.policy = policy
+        self.delivery_count = 0
+        self.faults_injected = 0
+
+    def handle(self, rank: int) -> "FaultyHandle":
+        return FaultyHandle(self, self._inner.handle(rank))
+
+    def _apply(self, target: int, msg: Message,
+               deliver: Callable[[int, Message], None]) -> None:
+        count = self.delivery_count
+        self.delivery_count += 1
+        if not self.policy.selector(msg, count):
+            deliver(target, msg)
+            return
+        self.faults_injected += 1
+        action = self.policy.action
+        if action == "drop":
+            return
+        if action == "duplicate":
+            deliver(target, msg)
+            deliver(target, msg)
+            return
+        if action == "truncate":
+            deliver(target, Message(source=msg.source, tag=msg.tag,
+                                    data=msg.data[:-1]))
+            return
+        if action == "retag":
+            deliver(target, Message(source=msg.source,
+                                    tag=self.policy.retag_to,
+                                    data=msg.data))
+
+
+class FaultyHandle(MessagePassing):
+    def __init__(self, world: FaultyWorld, inner: MessagePassing) -> None:
+        super().__init__(inner.mytid, world.nproc, inner.mastid)
+        self._world = world
+        self._inner = inner
+
+    def initpass(self):
+        self._inner.initpass()
+        return super().initpass()
+
+    def endpass(self) -> None:
+        self._inner.endpass()
+        super().endpass()
+
+    def _deliver(self, target: int, msg: Message) -> None:
+        self._world._apply(target, msg, self._inner._deliver)
+
+    def _probe(self, tag, source) -> Message:
+        return self._inner._probe(tag, source)
+
+    def _consume(self, tag, source) -> Message:
+        return self._inner._consume(tag, source)

@@ -1,0 +1,79 @@
+"""Threads + condition-variable backend.
+
+Each rank is a Python thread; mailboxes are per-rank lists guarded by
+one condition variable.  Probe semantics match MPI_PROBE: blocking,
+FIFO by arrival order within the matching subset (this also satisfies
+MPL's receive-in-arrival-order requirement, which the paper notes the
+SP2 imposed).
+
+The heavy numerical work of a LINGER worker is NumPy/Scipy code that
+releases the GIL only partially — the inprocess backend is therefore
+for protocol correctness and small runs; the ``procs`` backend is the
+performance transport.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..api import MessagePassing, World
+from ..message import Message
+from ...errors import MessagePassingError
+
+__all__ = ["InProcessWorld", "InProcessHandle"]
+
+
+class InProcessWorld(World):
+    """Shared-memory mailboxes for thread-ranks."""
+
+    def __init__(self, nproc: int) -> None:
+        super().__init__(nproc)
+        self._mailboxes: list[list[Message]] = [[] for _ in range(nproc)]
+        self._cond = threading.Condition()
+        self._handles = [InProcessHandle(self, r) for r in range(nproc)]
+
+    def handle(self, rank: int) -> "InProcessHandle":
+        return self._handles[rank]
+
+    # -- used by handles -----------------------------------------------------
+
+    def put(self, target: int, msg: Message) -> None:
+        with self._cond:
+            self._mailboxes[target].append(msg)
+            self._cond.notify_all()
+
+    def find(self, rank: int, tag: int | None, source: int | None,
+             remove: bool, timeout: float | None = None) -> Message:
+        deadline = None
+        with self._cond:
+            while True:
+                box = self._mailboxes[rank]
+                for i, msg in enumerate(box):
+                    if tag is not None and msg.tag != tag:
+                        continue
+                    if source is not None and msg.source != source:
+                        continue
+                    if remove:
+                        return box.pop(i)
+                    return msg
+                if not self._cond.wait(timeout=timeout or 60.0):
+                    if timeout is not None:
+                        raise MessagePassingError(
+                            f"rank {rank}: probe timed out "
+                            f"(tag={tag}, source={source})"
+                        )
+
+
+class InProcessHandle(MessagePassing):
+    def __init__(self, world: InProcessWorld, rank: int) -> None:
+        super().__init__(rank, world.nproc)
+        self._world = world
+
+    def _deliver(self, target: int, msg: Message) -> None:
+        self._world.put(target, msg)
+
+    def _probe(self, tag: int | None, source: int | None) -> Message:
+        return self._world.find(self._rank, tag, source, remove=False)
+
+    def _consume(self, tag: int, source: int) -> Message:
+        return self._world.find(self._rank, tag, source, remove=True)

@@ -1,0 +1,120 @@
+"""Forked-process backend: the PVM/MPI analogue.
+
+Each rank owns one ``multiprocessing.Queue`` as its incoming mailbox;
+a send puts ``(source, tag, payload)`` on the target's queue.  Probes
+drain the queue into a local pending list and scan it, preserving
+arrival order.  Ranks 1..n-1 are forked children running a caller-
+supplied entry point; rank 0's handle is used by the parent (the
+master cohabits the launching process, which the paper notes PVM
+allowed and which is "desirable because the master process requires
+little CPU time").
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from typing import Callable
+
+import numpy as np
+
+from ..api import MessagePassing, World
+from ..message import Message
+from ...errors import MessagePassingError
+
+__all__ = ["ProcsWorld", "ProcsHandle"]
+
+_DEFAULT_TIMEOUT = 600.0
+
+
+class ProcsWorld(World):
+    """Queues + forked workers."""
+
+    def __init__(self, nproc: int, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        super().__init__(nproc)
+        ctx = mp.get_context("fork")
+        self._ctx = ctx
+        self._queues = [ctx.Queue() for _ in range(nproc)]
+        self._timeout = timeout
+        self._children: list[mp.Process] = []
+
+    def handle(self, rank: int) -> "ProcsHandle":
+        return ProcsHandle(self, rank)
+
+    def launch(self, entry: Callable, *args) -> None:
+        """Fork ranks 1..nproc-1, each running ``entry(handle, *args)``."""
+        for rank in range(1, self.nproc):
+            proc = self._ctx.Process(
+                target=_child_main, args=(self, rank, entry, args), daemon=True
+            )
+            proc.start()
+            self._children.append(proc)
+
+    def join(self, timeout: float | None = None) -> None:
+        for proc in self._children:
+            proc.join(timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(5.0)
+                raise MessagePassingError("worker process failed to exit")
+        self._children.clear()
+
+
+def _child_main(world: "ProcsWorld", rank: int, entry: Callable, args) -> None:
+    handle = world.handle(rank)
+    entry(handle, *args)
+
+
+class ProcsHandle(MessagePassing):
+    def __init__(self, world: ProcsWorld, rank: int) -> None:
+        super().__init__(rank, world.nproc)
+        self._world = world
+        self._pending: list[Message] = []
+
+    def _deliver(self, target: int, msg: Message) -> None:
+        self._world._queues[target].put((msg.source, msg.tag, msg.data))
+
+    def _drain_one(self, block: bool) -> bool:
+        """Pull one raw message from the queue into the pending list."""
+        try:
+            src, tag, data = self._world._queues[self._rank].get(
+                block=block, timeout=self._world._timeout if block else None
+            )
+        except queue_mod.Empty:
+            if block:
+                raise MessagePassingError(
+                    f"rank {self._rank}: probe timed out after "
+                    f"{self._world._timeout}s"
+                )
+            return False
+        self._pending.append(Message(source=src, tag=tag,
+                                     data=np.asarray(data, dtype=float)))
+        return True
+
+    def _scan(self, tag, source, remove):
+        for i, msg in enumerate(self._pending):
+            if tag is not None and msg.tag != tag:
+                continue
+            if source is not None and msg.source != source:
+                continue
+            return self._pending.pop(i) if remove else msg
+        return None
+
+    def _probe(self, tag, source) -> Message:
+        while True:
+            found = self._scan(tag, source, remove=False)
+            if found is not None:
+                return found
+            # opportunistically drain everything already queued
+            while self._drain_one(block=False):
+                pass
+            found = self._scan(tag, source, remove=False)
+            if found is not None:
+                return found
+            self._drain_one(block=True)
+
+    def _consume(self, tag: int, source: int) -> Message:
+        self._probe(tag, source)
+        msg = self._scan(tag, source, remove=True)
+        assert msg is not None
+        return msg

@@ -1,0 +1,38 @@
+"""The wire format: tagged buffers of float64.
+
+The paper's wrappers move arrays of double-precision reals tagged with
+a small integer; so do we.  Payloads are copied on send (value
+semantics, like a real network) so a worker mutating its buffer can
+never corrupt a message in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One tagged message of double-precision values."""
+
+    source: int
+    tag: int
+    data: np.ndarray
+
+    @classmethod
+    def make(cls, source: int, tag: int, data) -> "Message":
+        arr = np.array(data, dtype=float, copy=True).ravel()
+        return cls(source=source, tag=int(tag), data=arr)
+
+    @property
+    def length(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (8 bytes per real, as on the SP2)."""
+        return 8 * self.length

@@ -1,0 +1,337 @@
+"""Per-mode evolution driver: the inner loop of LINGER.
+
+:func:`evolve_mode` integrates one wavenumber from deep in the
+radiation era to (by default) the present, in two phases:
+
+1. tight coupling (MB95 first-order TCA) from ``tau_init`` until the
+   Thomson time becomes a fraction ``tca_eps`` of min(1/k, 1/H_conf)
+   or hydrogen starts recombining, then
+2. the full hierarchy system to ``tau_end``,
+
+recording observables (potentials, fluid perturbations, the
+polarization sum Pi, line-of-sight ingredients) on a caller-supplied
+conformal-time grid.  This is exactly the work a PLINGER *worker*
+performs for each wavenumber it receives from the master.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..background import Background
+from ..errors import IntegrationError, ParameterError
+from ..integrators import DVERK, IntegratorStats
+from ..integrators.dverk import RKDriver
+from ..thermo import ThermalHistory
+from .gauges import newtonian_potentials
+from .initial import (
+    adiabatic_initial_conditions,
+    isocurvature_initial_conditions,
+)
+from .state import StateLayout
+from .system import PerturbationSystem
+
+__all__ = ["ModeResult", "evolve_mode", "default_record_grid", "tau_initial"]
+
+#: Observables recorded at every grid time.
+RECORD_FIELDS = (
+    "a",
+    "delta_g",
+    "theta_g",
+    "sigma_g",
+    "delta_b",
+    "theta_b",
+    "delta_c",
+    "delta_nu",
+    "theta_nu",
+    "delta_nu_massive",
+    "delta_m",
+    "pi",
+    "eta",
+    "etadot",
+    "hdot",
+    "alpha",
+    "alpha_dot",
+    "phi",
+    "psi",
+    "kappa_dot",
+)
+
+
+@dataclass
+class ModeResult:
+    """Everything LINGER keeps from the evolution of one wavenumber."""
+
+    k: float
+    tau: np.ndarray  #: record grid [Mpc]
+    records: dict[str, np.ndarray]
+    y_final: np.ndarray
+    layout: StateLayout
+    stats: IntegratorStats
+    tau_init: float
+    tau_switch: float
+    tau_end: float
+
+    @property
+    def f_gamma_final(self) -> np.ndarray:
+        """Photon temperature multipoles F_l at tau_end."""
+        return self.y_final[self.layout.sl_fg].copy()
+
+    @property
+    def g_gamma_final(self) -> np.ndarray:
+        """Photon polarization multipoles G_l at tau_end."""
+        return self.y_final[self.layout.sl_gg].copy()
+
+    @property
+    def theta_l_final(self) -> np.ndarray:
+        """Temperature transfer Theta_l = F_l / 4 at tau_end."""
+        return self.f_gamma_final / 4.0
+
+    def record(self, name: str) -> np.ndarray:
+        return self.records[name]
+
+
+def tau_initial(k: float, kt_init: float = 0.03, tau_cap: float = 1.5) -> float:
+    """Starting conformal time for wavenumber ``k``: k tau = kt_init,
+    capped so small-k modes still start deep in the radiation era."""
+    return min(kt_init / k, tau_cap)
+
+
+def default_record_grid(
+    background: Background,
+    thermo: ThermalHistory,
+    k: float,
+    n_early: int = 30,
+    n_rec: int = 140,
+    n_late: int = 90,
+    tau_end: float | None = None,
+) -> np.ndarray:
+    """A conformal-time grid that resolves the visibility peak.
+
+    Log-spaced before recombination, uniform through the visibility
+    function (where the acoustic sources live), log-spaced through the
+    free-streaming / ISW era to ``tau_end``.
+    """
+    tau_end = background.tau0 if tau_end is None else float(tau_end)
+    t0 = tau_initial(k) * 1.05
+    t_rec = thermo.tau_rec
+    lo, hi = 0.45 * t_rec, min(2.2 * t_rec, 0.9 * tau_end)
+    parts = []
+    if t0 < lo:
+        parts.append(np.geomspace(t0, lo, n_early, endpoint=False))
+    parts.append(np.linspace(lo, hi, n_rec, endpoint=False))
+    parts.append(np.geomspace(hi, tau_end, n_late))
+    grid = np.concatenate(parts)
+    return grid[(grid > t0 * 0.999) & (grid <= tau_end)]
+
+
+class _Recorder:
+    """Accumulates observables into preallocated arrays."""
+
+    def __init__(self, system: PerturbationSystem, n: int) -> None:
+        self.system = system
+        self.arrays = {name: np.full(n, np.nan) for name in RECORD_FIELDS}
+        self.tau = np.full(n, np.nan)
+        self.i = 0
+        self.tight = True
+
+    def __call__(self, tau: float, y: np.ndarray) -> None:
+        s = self.system
+        lo = s.layout
+        a = y[lo.A]
+        hc = s.conformal_hubble(a)
+        kappa_dot = s.opacity(a)
+        hdot, etadot, _, _ = s._metric_sources(y, a, hc)
+        fg = y[lo.sl_fg]
+        gg = y[lo.sl_gg]
+        nl = y[lo.sl_nl]
+        theta_g = 0.75 * s.k * fg[1]
+        if self.tight:
+            sigma_g = s.sigma_gamma_tca(theta_g, hdot, etadot, kappa_dot)
+            pi_pol = 2.5 * 2.0 * sigma_g  # Pi = 5/2 F2 in tight coupling
+        else:
+            sigma_g = 0.5 * fg[2]
+            pi_pol = fg[2] + gg[0] + gg[2]
+        gshear = s.shear_sum(y, a, sigma_g)
+        pots = newtonian_potentials(s.k, y[lo.ETA], hdot, etadot, hc, gshear)
+
+        p = s.params
+        if lo.nq > 0:
+            psi_m = lo.psi_matrix(y)
+            eps = np.sqrt(s.q_nodes**2 + (a * s._x0) ** 2)
+            delta_nu_m = float((s._w_rho * eps) @ psi_m[:, 0]) / s._rho_factor(a)
+        else:
+            delta_nu_m = float("nan")
+        num = p.omega_c * y[lo.DELTA_C] + p.omega_b * y[lo.DELTA_B]
+        if lo.nq > 0 and p.omega_nu > 0:
+            num += p.omega_nu * delta_nu_m
+        delta_m = num / p.omega_m
+
+        i = self.i
+        arr = self.arrays
+        self.tau[i] = tau
+        arr["a"][i] = a
+        arr["delta_g"][i] = fg[0]
+        arr["theta_g"][i] = theta_g
+        arr["sigma_g"][i] = sigma_g
+        arr["delta_b"][i] = y[lo.DELTA_B]
+        arr["theta_b"][i] = y[lo.THETA_B]
+        arr["delta_c"][i] = y[lo.DELTA_C]
+        arr["delta_nu"][i] = nl[0]
+        arr["theta_nu"][i] = 0.75 * s.k * nl[1]
+        arr["delta_nu_massive"][i] = delta_nu_m
+        arr["delta_m"][i] = delta_m
+        arr["pi"][i] = pi_pol
+        arr["eta"][i] = y[lo.ETA]
+        arr["etadot"][i] = etadot
+        arr["hdot"][i] = hdot
+        arr["alpha"][i] = pots.alpha
+        arr["alpha_dot"][i] = pots.alpha_dot
+        arr["phi"][i] = pots.phi
+        arr["psi"][i] = pots.psi
+        arr["kappa_dot"][i] = kappa_dot
+        self.i += 1
+
+
+def find_tca_exit(
+    background: Background,
+    thermo: ThermalHistory,
+    k: float,
+    tca_eps: float = 0.01,
+    xe_threshold: float = 0.99,
+) -> float:
+    """Conformal time at which tight coupling stops being valid.
+
+    Exit when 1/kappa' exceeds ``tca_eps`` times min(1/k, 1/H_conf), or
+    when hydrogen recombination begins (x_e < ``xe_threshold`` times its
+    early value), whichever is earlier.
+    """
+    a = thermo._a
+    tau = thermo._tau
+    kappa_dot = thermo._opacity_from_xe(a, thermo._x_e_table)
+    hc = background.conformal_hubble(a)
+    cond = kappa_dot * tca_eps < np.maximum(k, hc)
+    xe0 = thermo._x_e_table[0]
+    cond |= thermo._x_e_table < xe_threshold * xe0
+    idx = np.argmax(cond)
+    if idx == 0 and not cond[0]:
+        raise IntegrationError("tight coupling never ends before today")
+    return float(tau[idx])
+
+
+def evolve_mode(
+    background: Background,
+    thermo: ThermalHistory,
+    k: float,
+    lmax_photon: int = 12,
+    lmax_nu: int = 12,
+    nq: int = 0,
+    lmax_massive_nu: int = 10,
+    tau_end: float | None = None,
+    record_tau: np.ndarray | None = None,
+    rtol: float = 1e-5,
+    atol: float = 1e-9,
+    tca_eps: float = 0.01,
+    amplitude: float = 1.0,
+    initial_conditions: str = "adiabatic",
+    driver_cls: type[RKDriver] = DVERK,
+    max_steps: int = 2_000_000,
+) -> ModeResult:
+    """Evolve one wavenumber and return its records and final state.
+
+    This is the LINGER worker computation: everything from the series
+    initial conditions at ``k tau = 0.03`` to the multipoles today.
+    """
+    tau_end = background.tau0 if tau_end is None else float(tau_end)
+    nq_eff = nq if background.params.omega_nu > 0 else 0
+    layout = StateLayout(
+        lmax_photon=lmax_photon,
+        lmax_nu=lmax_nu,
+        nq=nq_eff,
+        lmax_massive_nu=lmax_massive_nu if nq_eff else 0,
+    )
+    system = PerturbationSystem(background, thermo, k, layout)
+
+    t_init = tau_initial(k)
+    if t_init >= tau_end:
+        raise ParameterError("tau_end precedes the initial time")
+    ic_builders = {
+        "adiabatic": adiabatic_initial_conditions,
+        "isocurvature": isocurvature_initial_conditions,
+    }
+    if initial_conditions not in ic_builders:
+        raise ParameterError(
+            f"unknown initial_conditions {initial_conditions!r}; "
+            f"choose from {sorted(ic_builders)}"
+        )
+    y0 = ic_builders[initial_conditions](
+        layout, background, k, t_init,
+        q_nodes=system.q_nodes if nq_eff else None,
+        amplitude=amplitude,
+    )
+
+    t_switch = find_tca_exit(background, thermo, k, tca_eps=tca_eps)
+    t_switch = min(max(t_switch, t_init * 1.01), tau_end)
+
+    if record_tau is None:
+        record_tau = np.empty(0)
+    record_tau = np.asarray(record_tau, dtype=float)
+    if record_tau.size and (
+        record_tau.min() <= t_init or record_tau.max() > tau_end * (1 + 1e-9)
+    ):
+        raise ParameterError("record grid outside (tau_init, tau_end]")
+
+    recorder = _Recorder(system, record_tau.size)
+    stats = IntegratorStats()
+
+    # Phase 1: tight coupling ------------------------------------------
+    stops1 = record_tau[record_tau <= t_switch]
+    drv1 = driver_cls(system.rhs_tca, rtol=rtol, atol=atol, max_steps=max_steps)
+    recorder.tight = True
+    res1 = drv1.integrate(
+        y0, t_init, t_switch,
+        stop_points=stops1,
+        on_stop=lambda t, y: recorder(t, y) if _in(t, stops1) else None,
+        stats=stats,
+    )
+    y = res1.y
+    system.initialize_full_from_tca(y, t_switch)
+
+    # Phase 2: full hierarchy ------------------------------------------
+    recorder.tight = False
+    stops2 = record_tau[record_tau > t_switch]
+    drv2 = driver_cls(system.rhs_full, rtol=rtol, atol=atol, max_steps=max_steps)
+    res2 = drv2.integrate(
+        y, t_switch, tau_end,
+        stop_points=stops2,
+        on_stop=lambda t, y_: recorder(t, y_) if _in(t, stops2) else None,
+        stats=stats,
+    )
+
+    records = {name: arr[: recorder.i] for name, arr in recorder.arrays.items()}
+    return ModeResult(
+        k=k,
+        tau=recorder.tau[: recorder.i],
+        records=records,
+        y_final=res2.y,
+        layout=layout,
+        stats=stats,
+        tau_init=t_init,
+        tau_switch=t_switch,
+        tau_end=tau_end,
+    )
+
+
+def _in(t: float, grid: np.ndarray) -> bool:
+    """True when t coincides with a requested record point (the driver
+    also stops at phase ends, which must not be recorded twice)."""
+    if grid.size == 0:
+        return False
+    j = np.searchsorted(grid, t)
+    for jj in (j - 1, j):
+        if 0 <= jj < grid.size and abs(grid[jj] - t) <= 1e-9 * max(t, 1.0):
+            return True
+    return False

@@ -1,0 +1,53 @@
+"""Gauge transformations: synchronous -> conformal Newtonian.
+
+Ma & Bertschinger (1995) eqs. (18)-(20): with
+``alpha = (hdot + 6 etadot) / (2 k^2)`` the conformal Newtonian
+potentials follow algebraically from synchronous-gauge quantities:
+
+    phi = eta - H_conf * alpha
+    k^2 (phi - psi) = 12 pi G a^2 (rho + p) sigma   (anisotropic stress)
+    alpha_dot = psi - H_conf * alpha                 (exact identity)
+
+``psi`` is the potential whose evolution the paper's movie shows; it
+plays the role of the Newtonian gravitational potential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NewtonianPotentials", "newtonian_potentials"]
+
+
+@dataclass(frozen=True)
+class NewtonianPotentials:
+    """The conformal Newtonian metric potentials and helpers."""
+
+    alpha: float  #: (hdot + 6 etadot) / (2 k^2)  [Mpc]
+    alpha_dot: float  #: d alpha / d tau (algebraic, via psi)
+    phi: float  #: curvature potential
+    psi: float  #: Newtonian potential (the movie quantity)
+
+
+def newtonian_potentials(
+    k: float,
+    eta: float,
+    hdot: float,
+    etadot: float,
+    conformal_hubble: float,
+    gshear: float,
+) -> NewtonianPotentials:
+    """Compute (alpha, alpha_dot, phi, psi) from synchronous quantities.
+
+    Parameters
+    ----------
+    gshear:
+        4 pi G a^2 (rho + p) sigma summed over species [Mpc^-2]
+        (:meth:`PerturbationSystem.shear_sum`).
+    """
+    k2 = k * k
+    alpha = (hdot + 6.0 * etadot) / (2.0 * k2)
+    phi = eta - conformal_hubble * alpha
+    psi = phi - 3.0 * gshear / k2
+    alpha_dot = psi - conformal_hubble * alpha
+    return NewtonianPotentials(alpha=alpha, alpha_dot=alpha_dot, phi=phi, psi=psi)

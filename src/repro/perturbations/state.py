@@ -1,0 +1,121 @@
+"""State-vector layout for one perturbation mode.
+
+All per-mode dynamical variables live in a single contiguous float64
+vector (cache-friendly, and what the RK driver expects).  The layout is
+
+    [ a, h, eta, delta_c, delta_b, theta_b,
+      F_gamma[0..lmax_g], G_gamma[0..lmax_g], N_nu[0..lmax_nu],
+      Psi[q=0, 0..lmax_mnu], ..., Psi[q=nq-1, 0..lmax_mnu] ]
+
+following Ma & Bertschinger (1995) variable conventions: ``F_gamma`` is
+the photon temperature brightness hierarchy (F_0 = delta_gamma,
+theta_gamma = 3 k F_1 / 4, sigma_gamma = F_2 / 2), ``G_gamma`` the
+polarization hierarchy, ``N_nu`` the massless-neutrino hierarchy, and
+``Psi`` the massive-neutrino phase-space hierarchy per momentum node.
+
+The scale factor ``a`` is co-evolved (a' = a^2 H) so the right-hand
+side never has to invert the tau(a) table, exactly as COSMICS did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StateLayout"]
+
+
+@dataclass(frozen=True)
+class StateLayout:
+    """Index bookkeeping for the per-mode state vector.
+
+    Parameters
+    ----------
+    lmax_photon:
+        Highest multipole kept in both photon hierarchies (>= 3).
+    lmax_nu:
+        Highest multipole kept for massless neutrinos (>= 3).
+    nq:
+        Number of comoving-momentum nodes for massive neutrinos
+        (0 disables the massive sector).
+    lmax_massive_nu:
+        Highest multipole per momentum node (>= 2 when nq > 0).
+    """
+
+    lmax_photon: int
+    lmax_nu: int
+    nq: int = 0
+    lmax_massive_nu: int = 0
+
+    # fixed scalar slots
+    A: int = 0
+    H: int = 1
+    ETA: int = 2
+    DELTA_C: int = 3
+    DELTA_B: int = 4
+    THETA_B: int = 5
+
+    def __post_init__(self) -> None:
+        if self.lmax_photon < 3:
+            raise ValueError("lmax_photon must be >= 3")
+        if self.lmax_nu < 3:
+            raise ValueError("lmax_nu must be >= 3")
+        if self.nq < 0:
+            raise ValueError("nq must be >= 0")
+        if self.nq > 0 and self.lmax_massive_nu < 2:
+            raise ValueError("lmax_massive_nu must be >= 2 when nq > 0")
+
+    # -- block offsets -----------------------------------------------------
+
+    @property
+    def i_fg(self) -> int:
+        """Start of the photon temperature block."""
+        return 6
+
+    @property
+    def i_gg(self) -> int:
+        """Start of the photon polarization block."""
+        return self.i_fg + self.lmax_photon + 1
+
+    @property
+    def i_nl(self) -> int:
+        """Start of the massless-neutrino block."""
+        return self.i_gg + self.lmax_photon + 1
+
+    @property
+    def i_psi(self) -> int:
+        """Start of the massive-neutrino block."""
+        return self.i_nl + self.lmax_nu + 1
+
+    @property
+    def n_state(self) -> int:
+        return self.i_psi + self.nq * (self.lmax_massive_nu + 1)
+
+    # -- slices -------------------------------------------------------------
+
+    @property
+    def sl_fg(self) -> slice:
+        return slice(self.i_fg, self.i_fg + self.lmax_photon + 1)
+
+    @property
+    def sl_gg(self) -> slice:
+        return slice(self.i_gg, self.i_gg + self.lmax_photon + 1)
+
+    @property
+    def sl_nl(self) -> slice:
+        return slice(self.i_nl, self.i_nl + self.lmax_nu + 1)
+
+    @property
+    def sl_psi(self) -> slice:
+        return slice(self.i_psi, self.n_state)
+
+    def psi_matrix(self, y: np.ndarray) -> np.ndarray:
+        """View of the massive-neutrino block as (nq, lmax_massive_nu + 1)."""
+        if self.nq == 0:
+            return np.empty((0, 0))
+        return y[self.sl_psi].reshape(self.nq, self.lmax_massive_nu + 1)
+
+    def zeros(self) -> np.ndarray:
+        """A fresh all-zero state vector."""
+        return np.zeros(self.n_state)

@@ -1,0 +1,25 @@
+"""PLINGER: the parallel master/worker driver.
+
+A faithful transcription of the paper's Appendix A into Python on the
+message-passing wrapper API: the master broadcasts the run setup
+(tag 1), workers request wavenumbers (tag 2), the master replies with
+work (tag 3) or stop (tag 6), and each completed mode comes back as a
+21-value header (tag 4) followed by a ``2 lmax + 8``-value multipole
+payload (tag 5).  Work is handed out largest-k-first.
+"""
+
+from .tags import Tag
+from .checkpoint import ModeJournal, run_plinger_checkpointed
+from .driver import PlingerRunStats, run_plinger
+from .master import master_subroutine
+from .worker import worker_subroutine
+
+__all__ = [
+    "Tag",
+    "run_plinger",
+    "run_plinger_checkpointed",
+    "ModeJournal",
+    "PlingerRunStats",
+    "master_subroutine",
+    "worker_subroutine",
+]

@@ -1,0 +1,153 @@
+"""End-to-end PLINGER runs on a chosen message-passing backend.
+
+:func:`run_plinger` is the analogue of the paper's main program: set up
+message passing, run the master in the calling context and the workers
+as threads (``inprocess``) or forked processes (``procs``), and
+assemble the results (ordered by ascending k) into the same
+:class:`~repro.linger.serial.LingerResult` the serial driver produces —
+by construction, PLINGER output must be identical to LINGER output.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..background import Background
+from ..errors import MessagePassingError, ProtocolError
+from ..linger.kgrid import KGrid
+from ..linger.serial import LingerConfig, LingerResult, compute_mode
+from ..mp import get_backend
+from ..params import CosmologyParams
+from ..thermo import ThermalHistory
+from .master import master_subroutine
+from .worker import worker_subroutine
+
+__all__ = ["PlingerRunStats", "run_plinger"]
+
+
+@dataclass
+class PlingerRunStats:
+    """Timing and traffic accounting for one PLINGER run."""
+
+    nproc: int
+    backend: str
+    wall_seconds: float
+    master_bytes_received: int
+    master_bytes_sent: int
+    master_messages_received: int
+    master_messages_sent: int
+    worker_cpu_seconds: np.ndarray  #: per-mode CPU, ascending-k order
+
+
+def _worker_entry(mp_handle, background, thermo, kgrid, config):
+    """Entry point for worker ranks (thread target / forked child)."""
+    mp_handle.initpass()
+
+    def compute(ik: int):
+        k = float(kgrid.k[ik - 1])
+        header, payload, _ = compute_mode(
+            background, thermo, k, ik=ik, config=config
+        )
+        return header, payload
+
+    worker_subroutine(mp_handle, compute)
+    mp_handle.endpass()
+
+
+def run_plinger(
+    params: CosmologyParams,
+    kgrid: KGrid,
+    config: LingerConfig | None = None,
+    nproc: int = 4,
+    backend: str = "inprocess",
+    background: Background | None = None,
+    thermo: ThermalHistory | None = None,
+) -> tuple[LingerResult, PlingerRunStats]:
+    """Run PLINGER with ``nproc - 1`` workers plus the master.
+
+    The master cohabits the calling process (rank 0), as the paper
+    notes PVM allowed ("desirable because the master process requires
+    little CPU time").
+    """
+    if nproc < 2:
+        raise MessagePassingError("PLINGER needs at least 1 worker (nproc >= 2)")
+    config = config or LingerConfig(record_sources=False, keep_mode_results=False)
+    if config.keep_mode_results:
+        raise ProtocolError(
+            "PLINGER ships only the wire records; run with "
+            "keep_mode_results=False (use run_linger for source recording)"
+        )
+    background = background or Background(params)
+    thermo = thermo or ThermalHistory(background)
+
+    world = get_backend(backend, nproc)
+    master_mp = world.handle(0)
+
+    wall0 = time.perf_counter()
+    if backend == "procs":
+        world.launch(_worker_entry, background, thermo, kgrid, config)
+    elif backend == "inprocess":
+        threads = [
+            threading.Thread(
+                target=_worker_entry,
+                args=(world.handle(r), background, thermo, kgrid, config),
+                daemon=True,
+            )
+            for r in range(1, nproc)
+        ]
+        for t in threads:
+            t.start()
+    else:
+        raise MessagePassingError(
+            f"backend {backend!r} cannot host PLINGER workers"
+        )
+
+    master_mp.initpass()
+    log = master_subroutine(master_mp, kgrid)
+    master_mp.endpass()
+
+    if backend == "procs":
+        world.join(timeout=60.0)
+    else:
+        for t in threads:
+            t.join(timeout=60.0)
+            if t.is_alive():
+                raise MessagePassingError("worker thread failed to exit")
+    wall = time.perf_counter() - wall0
+
+    # reassemble in ascending-k order
+    nk = kgrid.nk
+    headers = [None] * nk
+    payloads = [None] * nk
+    for h, p in zip(log.headers, log.payloads):
+        headers[h.ik - 1] = h
+        payloads[p.ik - 1] = p
+    if any(h is None for h in headers):
+        raise ProtocolError("PLINGER run finished with missing modes")
+
+    result = LingerResult(
+        params=params,
+        kgrid=kgrid,
+        config=config,
+        headers=headers,  # type: ignore[arg-type]
+        payloads=payloads,  # type: ignore[arg-type]
+        modes=[None] * nk,
+        background=background,
+        thermo=thermo,
+        wall_seconds=wall,
+    )
+    stats = PlingerRunStats(
+        nproc=nproc,
+        backend=backend,
+        wall_seconds=wall,
+        master_bytes_received=master_mp.stats.bytes_received,
+        master_bytes_sent=master_mp.stats.bytes_sent,
+        master_messages_received=master_mp.stats.messages_received,
+        master_messages_sent=master_mp.stats.messages_sent,
+        worker_cpu_seconds=result.cpu_seconds,
+    )
+    return result, stats

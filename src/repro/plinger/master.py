@@ -1,0 +1,111 @@
+"""The master subroutine (the paper's ``parentsub``).
+
+The master broadcasts the run setup, then sits in a probe loop:
+ready-requests (tag 2) and completed headers (tag 4, followed by the
+tag-5 payload whose length the header announces) both earn the sending
+worker its next wavenumber (tag 3) — or a stop message (tag 6) when the
+grid is exhausted.  Wavenumbers go out in dispatch order: largest
+first, so the expensive modes never land at the end of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..linger.kgrid import KGrid
+from ..linger.records import HEADER_LENGTH, ModeHeader, ModePayload
+from ..mp.api import MessagePassing
+from .tags import Tag
+
+__all__ = ["MasterLog", "master_subroutine", "INIT_MESSAGE_LENGTH"]
+
+#: The paper's first broadcast carries 5 reals.
+INIT_MESSAGE_LENGTH = 5
+
+
+@dataclass
+class MasterLog:
+    """What the master accumulates over a run."""
+
+    headers: list[ModeHeader] = field(default_factory=list)
+    payloads: list[ModePayload] = field(default_factory=list)
+    dispatched: list[int] = field(default_factory=list)
+    stops_sent: int = 0
+
+
+def master_subroutine(
+    mp: MessagePassing,
+    kgrid: KGrid,
+    init_data: np.ndarray | None = None,
+    on_result: Callable[[ModeHeader, ModePayload], None] | None = None,
+) -> MasterLog:
+    """Run the master side of the PLINGER protocol to completion.
+
+    Parameters
+    ----------
+    mp:
+        The rank-0 message-passing handle (initpass already called).
+    kgrid:
+        The wavenumber grid with its dispatch ordering.
+    init_data:
+        The 5 reals broadcast as tag 1 (defaults to
+        ``[nk, k_min, k_max, 0, 0]``).
+    on_result:
+        Invoked for every completed (header, payload) pair — the
+        stand-in for the paper's ascii/binary file writes.
+    """
+    nk = kgrid.nk
+    if init_data is None:
+        init_data = np.array(
+            [float(nk), float(kgrid.k[0]), float(kgrid.k[-1]), 0.0, 0.0]
+        )
+    init_data = np.asarray(init_data, dtype=float)
+    if init_data.size != INIT_MESSAGE_LENGTH:
+        raise ProtocolError(
+            f"init broadcast must carry {INIT_MESSAGE_LENGTH} reals"
+        )
+
+    log = MasterLog()
+    mp.mybcastreal(init_data, Tag.INIT)
+
+    next_slot = 0  # position in kgrid.dispatch_order
+    ik_done = 0
+
+    while ik_done < nk or log.stops_sent < mp.nproc - 1:
+        msgtype, itid = mp.mycheckany()
+
+        if msgtype == Tag.READY:
+            # the request carries no data; dispose of it
+            mp.myrecvreal(1, Tag.READY, itid)
+        elif msgtype == Tag.HEADER:
+            buf = mp.myrecvreal(HEADER_LENGTH, Tag.HEADER, itid)
+            header = ModeHeader.unpack(buf)
+            # the next message's length depends on lmax
+            mp.mycheckone(Tag.PAYLOAD, itid)
+            buf2 = mp.myrecvreal(2 * header.lmax + 8, Tag.PAYLOAD, itid)
+            payload = ModePayload.unpack(buf2, header.lmax)
+            log.headers.append(header)
+            log.payloads.append(payload)
+            if on_result is not None:
+                on_result(header, payload)
+            ik_done += 1
+        else:
+            raise ProtocolError(
+                f"master received unexpected tag {msgtype} from rank {itid}"
+            )
+
+        # reply to the worker that just spoke: more work, or stop
+        if next_slot < nk:
+            ik = int(kgrid.dispatch_order[next_slot]) + 1  # 1-based, as in F77
+            mp.mysendreal(np.array([float(ik)]), Tag.WORK, itid)
+            log.dispatched.append(ik)
+            next_slot += 1
+        else:
+            mp.mysendreal(np.array([0.0]), Tag.STOP, itid)
+            log.stops_sent += 1
+
+    return log

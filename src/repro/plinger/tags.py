@@ -1,0 +1,24 @@
+"""The PLINGER message tags (paper §7.2, verbatim)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["Tag"]
+
+
+class Tag(IntEnum):
+    """Each message carries a tag which reveals its function."""
+
+    #: first message from master to workers (run setup broadcast)
+    INIT = 1
+    #: from worker; asking for a wavenumber
+    READY = 2
+    #: from master; giving worker a wavenumber to work on
+    WORK = 3
+    #: from worker; giving first set of data and lmax
+    HEADER = 4
+    #: from worker; giving data (length = 2*lmax + 8)
+    PAYLOAD = 5
+    #: from master; telling worker to stop
+    STOP = 6

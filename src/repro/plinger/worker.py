@@ -1,0 +1,74 @@
+"""The worker subroutine (the paper's ``kidsub``).
+
+Receive the setup broadcast, ask for a wavenumber, then loop:
+integrate the mode, ship the 21-value header and the ``2 lmax + 8``
+payload back, and wait for the next wavenumber or a stop message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..linger.records import ModeHeader, ModePayload
+from ..mp.api import MessagePassing
+from .master import INIT_MESSAGE_LENGTH
+from .tags import Tag
+
+__all__ = ["WorkerLog", "worker_subroutine"]
+
+
+@dataclass
+class WorkerLog:
+    """Per-worker accounting."""
+
+    modes_done: int = 0
+    init_data: np.ndarray | None = None
+
+
+def worker_subroutine(
+    mp: MessagePassing,
+    compute: Callable[[int], tuple[ModeHeader, ModePayload]],
+) -> WorkerLog:
+    """Run the worker side of the PLINGER protocol until told to stop.
+
+    Parameters
+    ----------
+    compute:
+        ``compute(ik)`` integrates wavenumber index ``ik`` (1-based)
+        and returns the two records to ship back.
+    """
+    log = WorkerLog()
+    mastid = mp.mastid
+
+    # receive initial data from master
+    mp.mycheckone(Tag.INIT, mastid)
+    log.init_data = mp.myrecvreal(INIT_MESSAGE_LENGTH, Tag.INIT, mastid)
+
+    # ask for a wavenumber
+    mp.mysendreal(np.array([0.0]), Tag.READY, mastid)
+
+    # receive next ik or a stop message
+    msgtype = mp.mychecktid(mastid)
+    buf = mp.myrecvreal(1, msgtype, mastid)
+
+    while msgtype == Tag.WORK:
+        ik = int(round(buf[0]))
+        if ik < 1:
+            raise ProtocolError(f"worker received invalid ik={ik}")
+        header, payload = compute(ik)
+        if header.lmax != payload.lmax:
+            raise ProtocolError("header/payload lmax mismatch")
+        mp.mysendreal(header.pack(), Tag.HEADER, mastid)
+        mp.mysendreal(payload.pack(), Tag.PAYLOAD, mastid)
+        log.modes_done += 1
+
+        msgtype = mp.mychecktid(mastid)
+        buf = mp.myrecvreal(1, msgtype, mastid)
+
+    if msgtype != Tag.STOP:
+        raise ProtocolError(f"worker expected WORK or STOP, got tag {msgtype}")
+    return log

@@ -1,0 +1,38 @@
+"""Sky-map synthesis: Fig. 3 and the potential movie.
+
+Everything is built from scratch on NumPy: normalized associated
+Legendre recurrences for spherical-harmonic synthesis *and* analysis
+(on a Gauss-Legendre latitude grid, so band-limited round trips are
+exact to quadrature precision), Gaussian realizations of a_lm from a
+C_l, a flat-sky FFT synthesizer for the half-degree map, and the
+fixed-phase 2-D realizations of psi(k, tau) that reproduce the paper's
+movie.  PGM/PPM writers render the results without matplotlib.
+"""
+
+from .alm import AlmGrid, legendre_lambda
+from .synthesis import (
+    gaussian_alm,
+    synthesize,
+    analyze,
+    cl_of_alm,
+    SphereGrid,
+)
+from .flatsky import FlatSkyPatch, synthesize_flat
+from .project import PotentialMovie
+from .image import write_pgm, write_ppm, diverging_rgb
+
+__all__ = [
+    "AlmGrid",
+    "legendre_lambda",
+    "gaussian_alm",
+    "synthesize",
+    "analyze",
+    "cl_of_alm",
+    "SphereGrid",
+    "FlatSkyPatch",
+    "synthesize_flat",
+    "PotentialMovie",
+    "write_pgm",
+    "write_ppm",
+    "diverging_rgb",
+]

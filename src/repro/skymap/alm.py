@@ -1,0 +1,77 @@
+"""Spherical-harmonic coefficients and normalized Legendre functions.
+
+``lambda_lm(theta) = N_lm P_lm(cos theta)`` such that
+``Y_lm = lambda_lm e^(i m phi)``, computed with the standard stable
+three-term recurrence in l at fixed m (the same scheme HEALPix uses).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["AlmGrid", "legendre_lambda"]
+
+
+def legendre_lambda(lmax: int, m: int, x: np.ndarray) -> np.ndarray:
+    """lambda_lm(x) for l = m..lmax at points x = cos(theta).
+
+    Returns an array of shape (lmax - m + 1, len(x)).
+    """
+    if not 0 <= m <= lmax:
+        raise ParameterError("need 0 <= m <= lmax")
+    x = np.asarray(x, dtype=float)
+    sin_theta = np.sqrt(np.maximum(1.0 - x * x, 0.0))
+
+    # seed: lambda_mm = (-1)^m sqrt((2m+1)/(4 pi)) sqrt((2m-1)!!/(2m)!!) sin^m
+    lam_mm = np.full_like(x, math.sqrt(1.0 / (4.0 * math.pi)))
+    for mu in range(1, m + 1):
+        lam_mm = -math.sqrt((2.0 * mu + 1.0) / (2.0 * mu)) * sin_theta * lam_mm
+
+    out = np.empty((lmax - m + 1, x.size))
+    out[0] = lam_mm
+    if lmax == m:
+        return out
+    out[1] = math.sqrt(2.0 * m + 3.0) * x * lam_mm
+    for l in range(m + 2, lmax + 1):
+        a = math.sqrt((4.0 * l * l - 1.0) / (l * l - m * m))
+        b = math.sqrt(((l - 1.0) ** 2 - m * m) / (4.0 * (l - 1.0) ** 2 - 1.0))
+        out[l - m] = a * (x * out[l - m - 1] - b * out[l - m - 2])
+    return out
+
+
+@dataclass
+class AlmGrid:
+    """Complex a_lm for l <= lmax, m >= 0 (real-field convention).
+
+    Stored as a dense (lmax+1, lmax+1) complex array with entry [l, m];
+    entries with m > l are zero.  Negative m follow from reality:
+    a_{l,-m} = (-1)^m conj(a_{l,m}).
+    """
+
+    lmax: int
+    values: np.ndarray
+
+    @classmethod
+    def zeros(cls, lmax: int) -> "AlmGrid":
+        return cls(lmax=lmax, values=np.zeros((lmax + 1, lmax + 1),
+                                              dtype=complex))
+
+    def __post_init__(self) -> None:
+        v = np.asarray(self.values, dtype=complex)
+        if v.shape != (self.lmax + 1, self.lmax + 1):
+            raise ParameterError("values must be (lmax+1, lmax+1)")
+        self.values = v
+
+    def __getitem__(self, lm: tuple[int, int]) -> complex:
+        l, m = lm
+        if m < 0:
+            return (-1) ** (-m) * np.conj(self.values[l, -m])
+        return self.values[l, m]
+
+    def copy(self) -> "AlmGrid":
+        return AlmGrid(lmax=self.lmax, values=self.values.copy())

@@ -1,0 +1,72 @@
+"""Minimal PGM/PPM image writers (no imaging libraries in the sandbox).
+
+Binary PGM (P5) for grayscale and PPM (P6) with a blue-white-red
+diverging map for signed temperature fields — enough to look at Fig. 3
+and the movie frames with any image viewer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["write_pgm", "write_ppm", "diverging_rgb"]
+
+
+def _normalize(values: np.ndarray, vmin: float | None, vmax: float | None):
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 2:
+        raise ParameterError("image data must be 2-d")
+    lo = float(np.nanmin(v)) if vmin is None else vmin
+    hi = float(np.nanmax(v)) if vmax is None else vmax
+    if hi <= lo:
+        hi = lo + 1.0
+    return np.clip((v - lo) / (hi - lo), 0.0, 1.0)
+
+
+def write_pgm(path, values, vmin: float | None = None,
+              vmax: float | None = None) -> Path:
+    """Write a grayscale binary PGM; returns the path."""
+    path = Path(path)
+    norm = _normalize(values, vmin, vmax)
+    pixels = (norm * 255.0).astype(np.uint8)
+    h, w = pixels.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode())
+        fh.write(pixels.tobytes())
+    return path
+
+
+def diverging_rgb(norm: np.ndarray) -> np.ndarray:
+    """Blue -> white -> red colormap on [0, 1]; returns (h, w, 3) uint8."""
+    norm = np.clip(np.asarray(norm, dtype=float), 0.0, 1.0)
+    t = 2.0 * norm - 1.0  # [-1, 1]
+    r = np.where(t >= 0.0, 1.0, 1.0 + t)
+    g = 1.0 - np.abs(t)
+    b = np.where(t <= 0.0, 1.0, 1.0 - t)
+    rgb = np.stack([r, g, b], axis=-1)
+    return (rgb * 255.0).astype(np.uint8)
+
+
+def write_ppm(path, values, vmin: float | None = None,
+              vmax: float | None = None, symmetric: bool = True) -> Path:
+    """Write a diverging-colormap binary PPM.
+
+    With ``symmetric=True`` the color scale is centred on zero (the
+    natural choice for a DeltaT map).
+    """
+    path = Path(path)
+    v = np.asarray(values, dtype=float)
+    if symmetric and vmin is None and vmax is None:
+        m = float(np.nanmax(np.abs(v))) or 1.0
+        vmin, vmax = -m, m
+    norm = _normalize(v, vmin, vmax)
+    rgb = diverging_rgb(norm)
+    h, w, _ = rgb.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode())
+        fh.write(rgb.tobytes())
+    return path

@@ -1,0 +1,96 @@
+"""Comparing a theory curve to the 1995 bandpowers (COSAPP-style).
+
+The COSAPP package the paper credits distributed "CMB window and
+bandpower" tools; the minimal analysis it supported — and the one
+Fig. 2 visually performs — is: take a model C_l, fit its amplitude to
+the data, and quote a goodness of fit.  This module provides exactly
+that: a one-parameter amplitude fit with asymmetric Gaussian errors
+over the embedded compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import COMPILATION_1995, BandPower
+from ..errors import ParameterError
+
+__all__ = ["AmplitudeFit", "fit_amplitude", "chi_squared"]
+
+
+def _interp_band_power(l: np.ndarray, bp: np.ndarray,
+                       l_eff: np.ndarray) -> np.ndarray:
+    if np.any(l_eff < l[0]) or np.any(l_eff > l[-1]):
+        raise ParameterError(
+            "theory curve does not cover the data's multipole range"
+        )
+    return np.exp(np.interp(np.log(l_eff), np.log(l),
+                            np.log(np.maximum(bp, 1e-300))))
+
+
+def chi_squared(
+    l: np.ndarray,
+    band_power: np.ndarray,
+    scale: float = 1.0,
+    compilation: tuple[BandPower, ...] = COMPILATION_1995,
+    include_upper_limits: bool = False,
+) -> float:
+    """chi^2 of (scale x band_power) against the compilation.
+
+    Asymmetric errors: the +/- sigma matching the sign of the residual
+    is used.  Upper limits, when included, only penalize excess power.
+    """
+    l = np.asarray(l, dtype=float)
+    bp = scale * np.asarray(band_power, dtype=float)
+    chi2 = 0.0
+    for b in compilation:
+        if b.is_upper_limit and not include_upper_limits:
+            continue
+        model = float(_interp_band_power(l, bp, np.array([b.l_eff]))[0])
+        resid = model - b.delta_t_uk
+        if b.is_upper_limit:
+            if model > b.delta_t_uk:
+                chi2 += (resid / b.err_plus_uk) ** 2
+            continue
+        sigma = b.err_plus_uk if resid > 0 else b.err_minus_uk
+        chi2 += (resid / sigma) ** 2
+    return chi2
+
+
+@dataclass(frozen=True)
+class AmplitudeFit:
+    """Result of the one-parameter amplitude fit."""
+
+    scale: float  #: multiply the input band powers by this
+    chi2: float
+    n_points: int
+
+    @property
+    def chi2_per_dof(self) -> float:
+        return self.chi2 / max(self.n_points - 1, 1)
+
+
+def fit_amplitude(
+    l: np.ndarray,
+    band_power: np.ndarray,
+    compilation: tuple[BandPower, ...] = COMPILATION_1995,
+    n_grid: int = 400,
+) -> AmplitudeFit:
+    """Best-fit overall amplitude of a model curve against the data.
+
+    A 1-d grid search over the scale (band powers are linear in the
+    primordial amplitude's square root, so this is the only parameter a
+    shape-fixed model has).
+    """
+    detections = [b for b in compilation if not b.is_upper_limit]
+    if len(detections) < 2:
+        raise ParameterError("need at least two detections to fit")
+    scales = np.geomspace(0.2, 5.0, n_grid)
+    chi2s = np.array([
+        chi_squared(l, band_power, s, compilation) for s in scales
+    ])
+    i = int(np.argmin(chi2s))
+    return AmplitudeFit(scale=float(scales[i]), chi2=float(chi2s[i]),
+                        n_points=len(detections))

@@ -1,0 +1,66 @@
+"""Linear matter power spectrum and transfer function.
+
+With unit-amplitude adiabatic initial conditions for every k, the
+late-time matter perturbation delta_m(k, tau0) already contains the
+full transfer physics; the primordial spectrum enters as
+
+    P(k) = A k^(n_s - 4) |delta_m(k, tau0)|^2,
+
+which has the correct large-scale limit P ~ k^(n_s) because
+delta_m ~ k^2 on super-horizon scales (Poisson).  ``A`` is an arbitrary
+amplitude unless tied to the COBE normalization of the same run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["matter_power", "transfer_function", "sigma_r"]
+
+
+def matter_power(
+    k: np.ndarray,
+    delta_m: np.ndarray,
+    n_s: float = 1.0,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """P(k) [Mpc^3 up to the arbitrary amplitude] from transfer output."""
+    k = np.asarray(k, dtype=float)
+    d = np.asarray(delta_m, dtype=float)
+    if k.shape != d.shape:
+        raise ParameterError("k and delta_m must have the same shape")
+    return amplitude * k ** (n_s - 4.0) * d**2
+
+
+def transfer_function(k: np.ndarray, delta_m: np.ndarray) -> np.ndarray:
+    """T(k), normalized to 1 at the smallest k.
+
+    T(k) = [delta_m(k) / k^2] / [delta_m(k_min) / k_min^2]: the ratio of
+    the processed perturbation to its primordial k^2 scaling.
+    """
+    k = np.asarray(k, dtype=float)
+    d = np.asarray(delta_m, dtype=float)
+    shape = d / k**2
+    return shape / shape[0]
+
+
+def sigma_r(
+    k: np.ndarray,
+    pk: np.ndarray,
+    r_mpc: float = 16.0,
+) -> float:
+    """RMS mass fluctuation in a top-hat sphere of radius ``r_mpc``.
+
+    sigma^2(R) = int dln k  [k^3 P(k) / (2 pi^2)]  W^2(kR),
+    W(x) = 3 (sin x - x cos x) / x^3.
+
+    For h = 0.5 the classic "sigma_8" sphere (8 h^-1 Mpc) is R = 16 Mpc.
+    """
+    k = np.asarray(k, dtype=float)
+    pk = np.asarray(pk, dtype=float)
+    x = k * r_mpc
+    w = 3.0 * (np.sin(x) - x * np.cos(x)) / x**3
+    integrand = k**3 * pk / (2.0 * np.pi**2) * w**2
+    return float(np.sqrt(np.trapezoid(integrand, np.log(k))))

@@ -1,0 +1,74 @@
+"""COBE normalization and band powers.
+
+Fig. 2 of the paper shows the theory curve "normalized to the COBE
+Q_rms-PS".  The rms quadrupole amplitude relates to the quadrupole of
+the power spectrum by
+
+    Q_rms-PS^2 = T0^2 * 5 C_2 / (4 pi),
+
+so fixing Q_rms-PS (18 uK for the COBE two-year standard-CDM fit)
+fixes the overall amplitude of an unnormalized C_l.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["cobe_normalization", "band_power_uk", "qrms_ps_from_cl"]
+
+
+def cobe_normalization(
+    l: np.ndarray,
+    cl: np.ndarray,
+    q_rms_ps_uk: float = 18.0,
+    t_cmb_k: float = 2.726,
+) -> float:
+    """Scale factor that brings ``cl`` to the requested Q_rms-PS.
+
+    Multiply an unnormalized spectrum by the returned factor to get
+    dimensionless C_l (so that delta-T band powers come out in Kelvin^2
+    of T0^2... i.e. C_l of DeltaT/T).
+    """
+    l = np.asarray(l, dtype=int)
+    cl = np.asarray(cl, dtype=float)
+    idx = np.nonzero(l == 2)[0]
+    if idx.size == 0:
+        raise ParameterError("need l = 2 in the spectrum to normalize to COBE")
+    c2 = float(cl[idx[0]])
+    if c2 <= 0.0:
+        raise ParameterError("C_2 must be positive")
+    q_over_t = (q_rms_ps_uk * 1e-6) / t_cmb_k
+    c2_target = (4.0 * np.pi / 5.0) * q_over_t**2
+    return c2_target / c2
+
+
+def band_power_uk(
+    l: np.ndarray,
+    cl: np.ndarray,
+    t_cmb_k: float = 2.726,
+) -> np.ndarray:
+    """delta-T_l = T0 sqrt(l (l+1) C_l / 2 pi) in micro-Kelvin.
+
+    ``cl`` must be normalized (C_l of DeltaT/T).  This is the quantity
+    the 1995 experiments report and the y-axis of Fig. 2.
+    """
+    l = np.asarray(l, dtype=float)
+    cl = np.asarray(cl, dtype=float)
+    return t_cmb_k * 1e6 * np.sqrt(np.maximum(l * (l + 1.0) * cl, 0.0) /
+                                   (2.0 * np.pi))
+
+
+def qrms_ps_from_cl(
+    l: np.ndarray,
+    cl: np.ndarray,
+    t_cmb_k: float = 2.726,
+) -> float:
+    """Q_rms-PS in micro-Kelvin implied by a normalized spectrum."""
+    l = np.asarray(l, dtype=int)
+    idx = np.nonzero(l == 2)[0]
+    if idx.size == 0:
+        raise ParameterError("need l = 2 in the spectrum")
+    c2 = float(np.asarray(cl, dtype=float)[idx[0]])
+    return t_cmb_k * 1e6 * np.sqrt(5.0 * c2 / (4.0 * np.pi))

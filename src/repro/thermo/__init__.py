@@ -1,0 +1,25 @@
+"""Thermal history: recombination, decoupling, Thomson opacity.
+
+LINGER models "accurate treatments of hydrogen and helium
+recombination, decoupling of photons and baryons, and Thomson
+scattering".  This subpackage reproduces that physics: Saha equilibrium
+for both helium stages and early hydrogen, the Peebles three-level atom
+for hydrogen recombination, the baryon temperature equation with
+Compton coupling, and the derived quantities the Boltzmann integrator
+consumes (opacity, optical depth, visibility function, baryon sound
+speed).
+"""
+
+from .recombination import (
+    PeeblesRates,
+    saha_electron_fraction,
+    peebles_rhs,
+)
+from .history import ThermalHistory
+
+__all__ = [
+    "PeeblesRates",
+    "saha_electron_fraction",
+    "peebles_rhs",
+    "ThermalHistory",
+]

@@ -1,0 +1,271 @@
+"""Precomputed thermal history of the photon-baryon plasma.
+
+:class:`ThermalHistory` integrates the ionization history (Saha for
+helium and early hydrogen, Peebles for hydrogen recombination) together
+with the baryon temperature equation, then tabulates and splines every
+quantity the Boltzmann integrator needs:
+
+* ``x_e(a)``         free-electron fraction per hydrogen nucleus,
+* ``opacity(a)``     Thomson opacity  kappa' = a n_e sigma_T  [Mpc^-1],
+* ``optical_depth(tau)`` and ``visibility(tau) = kappa' e^-kappa``,
+* ``t_baryon(a)``    baryon temperature [K],
+* ``cs2(a)``         baryon sound speed squared (c = 1 units).
+
+The visibility function and its first two conformal-time derivatives
+are exposed through cubic splines so the line-of-sight source term can
+be evaluated smoothly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.integrate import solve_ivp
+from scipy.interpolate import CubicSpline
+
+from .. import constants as const
+from ..background import Background
+from ..errors import IntegrationError
+from .recombination import peebles_rhs, saha_electron_fraction
+
+__all__ = ["ThermalHistory"]
+
+
+class ThermalHistory:
+    """Ionization and temperature history for a given background.
+
+    Parameters
+    ----------
+    background:
+        The precomputed FRW background.
+    a_start:
+        Scale factor at which tabulation begins (must be deep in the
+        fully-ionized era).
+    n_grid:
+        Number of log-a grid points for the tables.
+    saha_switch:
+        Hydrogen Saha ionization fraction below which the integrator
+        switches from Saha equilibrium to the Peebles ODE.
+    """
+
+    def __init__(
+        self,
+        background: Background,
+        a_start: float = 1.0e-8,
+        n_grid: int = 6000,
+        saha_switch: float = 0.985,
+        z_reion: float | None = None,
+        x_e_reion: float | None = None,
+        dz_reion: float = 1.5,
+    ) -> None:
+        """``z_reion`` switches on instantaneous-ish reionization: the
+        electron fraction rises to ``x_e_reion`` (default: fully ionized
+        hydrogen + singly ionized helium) over a tanh of width
+        ``dz_reion`` centred at ``z_reion``.  The paper's standard-CDM
+        run has no reionization; this is the natural extension knob."""
+        self.background = background
+        self.params = background.params
+        self.f_he = self.params.y_he / (4.0 * (1.0 - self.params.y_he))
+        self._n_h0 = self.params.n_hydrogen_cgs  # cm^-3 today
+        self.z_reion = z_reion
+        self.x_e_reion = (
+            x_e_reion if x_e_reion is not None else 1.0 + self.f_he
+        )
+        self.dz_reion = dz_reion
+        self._build(a_start, n_grid, saha_switch)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _hubble_s(self, a: float) -> float:
+        """Proper Hubble rate in s^-1."""
+        return float(self.background.hubble(a)) * const.C_LIGHT / const.MPC_CM
+
+    def _t_gamma(self, a):
+        return self.params.t_cmb / np.asarray(a, dtype=float)
+
+    def _rhs(self, lna: float, y: np.ndarray) -> np.ndarray:
+        """ODE right-hand side in ln a for [x_H, T_b]."""
+        a = math.exp(lna)
+        x_h, t_b = float(y[0]), float(y[1])
+        t_b = max(t_b, 1e-3)
+        h_s = self._hubble_s(a)
+        n_h = self._n_h0 / a**3
+        # helium electrons from Saha at the current temperature
+        _, _, x_he2, x_he3 = saha_electron_fraction(t_b, n_h, self.f_he)
+        x_e = min(max(x_h, 0.0), 1.0) + self.f_he * (x_he2 + 2.0 * x_he3)
+        n_e = max(x_e, 1e-12) * n_h
+
+        dxh_dt = peebles_rhs(x_h, t_b, n_h, n_e, h_s)
+
+        # Baryon temperature: adiabatic cooling + Compton heating
+        t_g = self.params.t_cmb / a
+        compton_prefac = (
+            8.0
+            * const.SIGMA_THOMSON
+            * const.A_RAD
+            * t_g**4
+            / (3.0 * const.M_ELECTRON * const.C_LIGHT)
+        )  # s^-1, multiplies x_e/(1+f_He+x_e) (T_g - T_b)
+        dtb_dt = -2.0 * h_s * t_b + compton_prefac * x_e / (
+            1.0 + self.f_he + x_e
+        ) * (t_g - t_b)
+
+        return np.array([dxh_dt / h_s, dtb_dt / h_s])
+
+    def _build(self, a_start: float, n_grid: int, saha_switch: float) -> None:
+        lna = np.linspace(math.log(a_start), 0.0, n_grid)
+        a = np.exp(lna)
+        x_e = np.empty(n_grid)
+        x_h = np.empty(n_grid)
+        t_b = np.empty(n_grid)
+
+        # Saha phase --------------------------------------------------
+        i_switch = None
+        for i, ai in enumerate(a):
+            t = self.params.t_cmb / ai
+            n_h = self._n_h0 / ai**3
+            xe_i, xh_i, xhe2, xhe3 = saha_electron_fraction(t, n_h, self.f_he)
+            x_e[i], x_h[i], t_b[i] = xe_i, xh_i, t
+            if xh_i < saha_switch:
+                i_switch = i
+                break
+        if i_switch is None:
+            raise IntegrationError("hydrogen never left Saha equilibrium")
+
+        # Peebles phase -----------------------------------------------
+        y0 = np.array([x_h[i_switch], t_b[i_switch]])
+        sol = solve_ivp(
+            self._rhs,
+            (lna[i_switch], 0.0),
+            y0,
+            method="LSODA",
+            t_eval=lna[i_switch:],
+            rtol=1e-8,
+            atol=[1e-12, 1e-8],
+        )
+        if not sol.success:
+            raise IntegrationError(f"thermal history ODE failed: {sol.message}")
+        x_h[i_switch:] = np.clip(sol.y[0], 0.0, 1.0)
+        t_b[i_switch:] = sol.y[1]
+
+        # helium Saha contribution during/after the switch
+        for j in range(i_switch, n_grid):
+            _, _, xhe2, xhe3 = saha_electron_fraction(
+                t_b[j], self._n_h0 / a[j] ** 3, self.f_he
+            )
+            x_e[j] = x_h[j] + self.f_he * (xhe2 + 2.0 * xhe3)
+
+        # optional reionization: raise x_e to its target over a tanh in z
+        if self.z_reion is not None:
+            z = 1.0 / a - 1.0
+            step = 0.5 * (1.0 + np.tanh((self.z_reion - z) / self.dz_reion))
+            x_e = np.maximum(x_e, self.x_e_reion * step)
+
+        self._lna = lna
+        self._a = a
+        self._x_e_table = x_e
+        self._x_h_table = x_h
+        self._t_b_table = t_b
+
+        self._x_e_spline = CubicSpline(lna, np.log(np.maximum(x_e, 1e-30)))
+        self._t_b_spline = CubicSpline(lna, np.log(np.maximum(t_b, 1e-30)))
+
+        # Opacity, optical depth, visibility on the conformal-time grid
+        tau = self.background.conformal_time(a)
+        kappa_dot = self._opacity_from_xe(a, x_e)  # Mpc^-1
+        # optical depth kappa(tau) = int_tau^tau0 kappa' dtau
+        dtau = np.diff(tau)
+        seg = 0.5 * (kappa_dot[1:] + kappa_dot[:-1]) * dtau
+        kappa = np.concatenate(([0.0], np.cumsum(seg)))  # from a_start forward
+        kappa = kappa[-1] - kappa  # measured from today backwards
+        g = kappa_dot * np.exp(-np.minimum(kappa, 700.0))
+
+        self._tau = tau
+        self._kappa_dot_spline = CubicSpline(lna, np.log(np.maximum(kappa_dot, 1e-300)))
+        self._kappa_spline = CubicSpline(tau, kappa)
+        self._g_spline = CubicSpline(tau, g)
+        self._g_prime_spline = self._g_spline.derivative(1)
+        self._g_prime2_spline = self._g_spline.derivative(2)
+        self._exp_mkappa_spline = CubicSpline(tau, np.exp(-np.minimum(kappa, 700.0)))
+
+        # Recombination epoch: peak of the visibility function.  With
+        # reionization on, restrict the search to z > 100 so the
+        # low-redshift rescattering bump cannot steal the peak.
+        search = g if self.z_reion is None else np.where(a < 1e-2, g, 0.0)
+        i_peak = int(np.argmax(search))
+        self.tau_rec = float(tau[i_peak])
+        self.a_rec = float(a[i_peak])
+        self.z_rec = 1.0 / self.a_rec - 1.0
+
+        # Thomson optical depth through the reionized era: kappa just
+        # above the transition (0 without reionization up to the tiny
+        # freeze-out residual).
+        z_top = 20.0 if self.z_reion is None else (
+            self.z_reion + 5.0 * self.dz_reion
+        )
+        i_top = int(np.searchsorted(a, 1.0 / (1.0 + z_top)))
+        self.tau_reion = float(kappa[i_top])
+
+        # Baryon sound speed: cs^2 = kB Tb / (mu mH) (1 - (1/3) dlnTb/dlna)
+        dlntb_dlna = self._t_b_spline.derivative(1)(lna)
+        mu = (1.0 + 4.0 * self.f_he) / (1.0 + self.f_he + x_e)
+        cs2 = (
+            const.K_BOLTZMANN
+            * t_b
+            / (mu * const.M_HYDROGEN * const.C_LIGHT**2)
+            * (1.0 - dlntb_dlna / 3.0)
+        )
+        self._cs2_spline = CubicSpline(lna, np.log(np.maximum(cs2, 1e-300)))
+
+    def _opacity_from_xe(self, a, x_e):
+        """kappa' = a n_e sigma_T in Mpc^-1."""
+        return (
+            np.asarray(x_e)
+            * self._n_h0
+            / np.asarray(a) ** 2
+            * const.SIGMA_THOMSON
+            * const.MPC_CM
+        )
+
+    # ------------------------------------------------------------------
+    # Public evaluators (vectorized over a or tau)
+    # ------------------------------------------------------------------
+
+    def x_e(self, a):
+        """Free-electron fraction per hydrogen nucleus."""
+        return np.exp(self._x_e_spline(np.log(np.asarray(a, dtype=float))))
+
+    def t_baryon(self, a):
+        """Baryon temperature [K]."""
+        return np.exp(self._t_b_spline(np.log(np.asarray(a, dtype=float))))
+
+    def opacity(self, a):
+        """Thomson opacity kappa' = a n_e sigma_T [Mpc^-1]."""
+        return np.exp(self._kappa_dot_spline(np.log(np.asarray(a, dtype=float))))
+
+    def cs2(self, a):
+        """Baryon sound speed squared (units of c^2)."""
+        return np.exp(self._cs2_spline(np.log(np.asarray(a, dtype=float))))
+
+    def optical_depth(self, tau):
+        """Thomson optical depth from conformal time ``tau`` to today."""
+        return self._kappa_spline(np.asarray(tau, dtype=float))
+
+    def visibility(self, tau):
+        """g(tau) = kappa' e^-kappa [Mpc^-1]; integrates to ~1 over tau."""
+        return np.maximum(self._g_spline(np.asarray(tau, dtype=float)), 0.0)
+
+    def visibility_prime(self, tau):
+        """dg/dtau."""
+        return self._g_prime_spline(np.asarray(tau, dtype=float))
+
+    def visibility_prime2(self, tau):
+        """d^2 g/dtau^2."""
+        return self._g_prime2_spline(np.asarray(tau, dtype=float))
+
+    def exp_minus_kappa(self, tau):
+        """e^{-kappa(tau)} (the free-streaming damping factor)."""
+        return np.clip(self._exp_mkappa_spline(np.asarray(tau, dtype=float)), 0.0, 1.0)

@@ -1,0 +1,157 @@
+"""Recombination microphysics: Saha equilibria and the Peebles atom.
+
+Conventions
+-----------
+``x_H`` is the hydrogen ionization fraction n_p / n_H;
+``x_e`` is the free-electron fraction n_e / n_H (can exceed 1 when
+helium is ionized).  ``f_He = n_He / n_H = Y / (4 (1 - Y))``.
+
+The Saha solver handles the three coupled equilibria (H, He I, He II)
+self-consistently by fixed-point iteration on n_e.  The Peebles
+three-level-atom ODE (Peebles 1968) takes over for hydrogen once the
+Saha ionization fraction drops below ~0.99, exactly the classic scheme
+used by COSMICS-era codes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants as const
+
+__all__ = ["saha_electron_fraction", "PeeblesRates", "peebles_rhs"]
+
+
+def _saha_factor(t_kelvin: float, chi_erg: float) -> float:
+    """(m_e k T / 2 pi hbar^2)^{3/2} e^{-chi/kT}  [cm^-3].
+
+    The thermal de Broglie factor times the Boltzmann suppression that
+    appears in every Saha equation.  Underflows cleanly to 0.
+    """
+    kt = const.K_BOLTZMANN * t_kelvin
+    prefac = (const.M_ELECTRON * kt / (2.0 * math.pi * const.HBAR**2)) ** 1.5
+    arg = chi_erg / kt
+    if arg > 650.0:
+        return 0.0
+    return prefac * math.exp(-arg)
+
+
+def saha_electron_fraction(
+    t_kelvin: float,
+    n_h_cgs: float,
+    f_he: float,
+    n_iter: int = 60,
+) -> tuple[float, float, float, float]:
+    """Solve the coupled H / He I / He II Saha equilibria.
+
+    Parameters
+    ----------
+    t_kelvin:
+        Matter (= radiation, at these epochs) temperature [K].
+    n_h_cgs:
+        Total hydrogen number density [cm^-3].
+    f_he:
+        Helium-to-hydrogen number ratio.
+
+    Returns
+    -------
+    (x_e, x_H, x_HeII, x_HeIII):
+        Free-electron fraction (per hydrogen) and the ionized fractions
+        of H (n_p/n_H), He+ (n_He+/n_He), He++ (n_He++/n_He).
+    """
+    s_h = _saha_factor(t_kelvin, const.E_ION_H)
+    # statistical weights: 2 g_+ / g_0 -> H: 2*1/2 = 1; HeI: 2*2/1 = 4;
+    # HeII: 2*1/2 = 1.
+    s_he1 = 4.0 * _saha_factor(t_kelvin, const.E_ION_HE1)
+    s_he2 = 1.0 * _saha_factor(t_kelvin, const.E_ION_HE2)
+
+    x_e = 1.0 + 2.0 * f_he  # fully ionized initial guess
+    x_h = x_he2 = x_he3 = 1.0
+    for _ in range(n_iter):
+        n_e = max(x_e * n_h_cgs, 1e-300)
+        # H: x_p / (1 - x_p) = s_h / n_e
+        r_h = s_h / n_e
+        x_h = r_h / (1.0 + r_h)
+        # He: n_He+/n_He0 = s_he1/n_e ; n_He++/n_He+ = s_he2/n_e
+        r1 = s_he1 / n_e
+        r2 = s_he2 / n_e
+        denom = 1.0 + r1 + r1 * r2
+        x_he2 = r1 / denom
+        x_he3 = r1 * r2 / denom
+        x_e_new = x_h + f_he * (x_he2 + 2.0 * x_he3)
+        if abs(x_e_new - x_e) < 1e-14 * max(x_e, 1e-30):
+            x_e = x_e_new
+            break
+        x_e = 0.5 * (x_e + x_e_new)  # damped fixed point
+    return x_e, x_h, x_he2, x_he3
+
+
+@dataclass(frozen=True)
+class PeeblesRates:
+    """The rate coefficients of the Peebles three-level atom at one epoch."""
+
+    alpha2: float  #: case-B-like recombination coefficient [cm^3 s^-1]
+    beta: float  #: photoionization rate from n=2 at ground-state energy [s^-1]
+    beta2: float  #: effective photoionization rate with the n=2 energy [s^-1]
+    lambda_alpha: float  #: Lyman-alpha escape rate per n=2 atom [s^-1]
+    c_peebles: float  #: the Peebles suppression factor C in [0, 1]
+
+    @classmethod
+    def at(
+        cls,
+        t_kelvin: float,
+        n_h_cgs: float,
+        x_h: float,
+        hubble_s: float,
+    ) -> "PeeblesRates":
+        """Evaluate the rates at matter temperature ``t_kelvin``.
+
+        Parameters
+        ----------
+        hubble_s:
+            Proper Hubble rate [s^-1] (sets the Lyman-alpha escape rate).
+        """
+        kt = const.K_BOLTZMANN * t_kelvin
+        eps = const.E_ION_H / kt
+        phi2 = max(0.448 * math.log(max(eps, 1.0 + 1e-12)), 0.0)
+        alpha2 = 9.78e-14 * math.sqrt(eps) * phi2  # cm^3/s (Peebles form)
+
+        thermal = (
+            const.M_ELECTRON * kt / (2.0 * math.pi * const.HBAR**2)
+        ) ** 1.5
+        beta = alpha2 * thermal * (math.exp(-eps) if eps < 650.0 else 0.0)
+        # beta2 = beta * exp(3 eps/4) computed directly to avoid overflow:
+        beta2 = alpha2 * thermal * (math.exp(-eps / 4.0) if eps < 2600.0 else 0.0)
+
+        n_1s = max((1.0 - x_h) * n_h_cgs, 1e-300)
+        lam_alpha = (
+            hubble_s
+            * (3.0 * const.E_ION_H / (const.HBAR * const.C_LIGHT)) ** 3
+            / ((8.0 * math.pi) ** 2 * n_1s)
+        )
+        c_peebles = (const.LAMBDA_2S_1S + lam_alpha) / (
+            const.LAMBDA_2S_1S + lam_alpha + beta2
+        )
+        return cls(alpha2, beta, beta2, lam_alpha, c_peebles)
+
+
+def peebles_rhs(
+    x_h: float,
+    t_baryon_k: float,
+    n_h_cgs: float,
+    n_e_cgs: float,
+    hubble_s: float,
+) -> float:
+    """dx_H/dt [s^-1] from the Peebles three-level atom.
+
+    ``n_e_cgs`` is the free-electron density (includes any helium
+    electrons still around at the start of hydrogen recombination).
+    """
+    x_h = min(max(x_h, 0.0), 1.0)
+    rates = PeeblesRates.at(t_baryon_k, n_h_cgs, x_h, hubble_s)
+    recomb = rates.alpha2 * n_e_cgs * x_h
+    ionize = rates.beta * (1.0 - x_h)
+    return rates.c_peebles * (ionize - recomb)

@@ -1,0 +1,120 @@
+"""Terminal plotting for the examples (the sandbox has no matplotlib).
+
+These produce honest, labelled ASCII renderings of curves and
+histograms — enough to see the acoustic peaks of Fig. 2 or the scaling
+curve of Fig. 1 directly in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_histogram"]
+
+
+def _format_axis_value(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e4 or abs(v) < 1e-2:
+        return f"{v:.2e}"
+    return f"{v:.3g}"
+
+
+def ascii_plot(
+    x,
+    y,
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    marker: str = "*",
+    overlay: tuple | None = None,
+    overlay_marker: str = "o",
+) -> str:
+    """Render (x, y) as an ASCII scatter/line plot.
+
+    ``overlay`` is an optional second (x, y) series drawn with
+    ``overlay_marker`` (used for experimental data points on top of a
+    theory curve).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    # overlay first so the primary series' marker wins where they overlap
+    series = []
+    if overlay is not None:
+        series.append((np.asarray(overlay[0], float),
+                       np.asarray(overlay[1], float), overlay_marker))
+    series.append((x, y, marker))
+
+    def tx(v):
+        return np.log10(np.maximum(v, 1e-300)) if logx else v
+
+    def ty(v):
+        return np.log10(np.maximum(v, 1e-300)) if logy else v
+
+    all_x = np.concatenate([tx(s[0]) for s in series])
+    all_y = np.concatenate([ty(s[1]) for s in series])
+    finite = np.isfinite(all_x) & np.isfinite(all_y)
+    if not np.any(finite):
+        return "(no finite data)\n"
+    x_min, x_max = float(all_x[finite].min()), float(all_x[finite].max())
+    y_min, y_max = float(all_y[finite].min()), float(all_y[finite].max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for sx, sy, mk in series:
+        gx = tx(sx)
+        gy = ty(sy)
+        for xi, yi in zip(gx, gy):
+            if not (math.isfinite(xi) and math.isfinite(yi)):
+                continue
+            col = int((xi - x_min) / (x_max - x_min) * (width - 1))
+            row = int((yi - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mk
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = _format_axis_value(10 ** y_max if logy else y_max)
+    bot_label = _format_axis_value(10 ** y_min if logy else y_min)
+    label_w = max(len(top_label), len(bot_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            lbl = top_label.rjust(label_w)
+        elif i == height - 1:
+            lbl = bot_label.rjust(label_w)
+        else:
+            lbl = " " * label_w
+        lines.append(f"{lbl}|{''.join(row)}")
+    left = _format_axis_value(10 ** x_min if logx else x_min)
+    right = _format_axis_value(10 ** x_max if logx else x_max)
+    axis = " " * label_w + "+" + "-" * width
+    lines.append(axis)
+    footer = " " * (label_w + 1) + left + " " * max(
+        1, width - len(left) - len(right)
+    ) + right
+    lines.append(footer)
+    if xlabel or ylabel:
+        lines.append(f"   x: {xlabel}    y: {ylabel}")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_histogram(values, bins: int = 30, width: int = 60,
+                    title: str = "") -> str:
+    """Render a histogram of ``values`` with one text row per bin."""
+    values = np.asarray(values, dtype=float)
+    counts, edges = np.histogram(values[np.isfinite(values)], bins=bins)
+    peak = counts.max() if counts.size and counts.max() > 0 else 1
+    lines = [title] if title else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(c / peak * width))
+        lines.append(f"{lo:12.4g} .. {hi:12.4g} |{bar} {c}")
+    return "\n".join(lines) + "\n"

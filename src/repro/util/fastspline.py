@@ -1,0 +1,101 @@
+"""Fast scalar cubic-spline evaluation on uniform grids.
+
+The Boltzmann right-hand side evaluates the Thomson opacity, baryon
+sound speed and massive-neutrino background factors at every stage of
+every Runge-Kutta step.  ``scipy.interpolate.CubicSpline.__call__`` has
+tens-of-microseconds of overhead per scalar call, which would dominate
+the integration, so this module extracts the spline's polynomial
+coefficients once and evaluates them with plain float arithmetic
+(profiling-driven optimization, per the optimizing-code guide).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.interpolate import CubicSpline
+
+__all__ = ["UniformGridCubic", "LogLogCubic"]
+
+
+class UniformGridCubic:
+    """Cubic spline over a *uniformly spaced* knot vector.
+
+    Knot lookup is an O(1) index computation instead of a binary
+    search.  Evaluation outside the knot range clamps to the end
+    polynomials (constant extrapolation of the outermost cubic piece).
+    """
+
+    __slots__ = ("x0", "dx", "n", "c0", "c1", "c2", "c3", "_x", "_y")
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        dx = np.diff(x)
+        if not np.allclose(dx, dx[0], rtol=1e-8):
+            raise ValueError("UniformGridCubic requires a uniform grid")
+        spline = CubicSpline(x, y)
+        # scipy stores c[k, i]: coefficient of (x - x_i)^(3-k) on piece i
+        c = spline.c
+        self.x0 = float(x[0])
+        self.dx = float(dx[0])
+        self.n = len(x) - 1
+        self.c3 = c[0].copy()
+        self.c2 = c[1].copy()
+        self.c1 = c[2].copy()
+        self.c0 = c[3].copy()
+        self._x = x
+        self._y = y
+
+    def __call__(self, x: float) -> float:
+        i = int((x - self.x0) / self.dx)
+        if i < 0:
+            i = 0
+        elif i >= self.n:
+            i = self.n - 1
+        t = x - (self.x0 + i * self.dx)
+        return ((self.c3[i] * t + self.c2[i]) * t + self.c1[i]) * t + self.c0[i]
+
+    def derivative(self, x: float) -> float:
+        i = int((x - self.x0) / self.dx)
+        if i < 0:
+            i = 0
+        elif i >= self.n:
+            i = self.n - 1
+        t = x - (self.x0 + i * self.dx)
+        return (3.0 * self.c3[i] * t + 2.0 * self.c2[i]) * t + self.c1[i]
+
+    def vector(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation (for table building, not the hot path)."""
+        x = np.asarray(x, dtype=float)
+        i = np.clip(((x - self.x0) / self.dx).astype(int), 0, self.n - 1)
+        t = x - (self.x0 + i * self.dx)
+        return ((self.c3[i] * t + self.c2[i]) * t + self.c1[i]) * t + self.c0[i]
+
+
+class LogLogCubic:
+    """Cubic interpolation of log(y) versus log(x) on a log-uniform grid.
+
+    Natural representation for positive, power-law-like quantities
+    (opacity, densities).  Guarantees positivity of the interpolant.
+    """
+
+    __slots__ = ("_spline",)
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        y = np.asarray(y, dtype=float)
+        if np.any(y <= 0.0):
+            raise ValueError("LogLogCubic requires strictly positive y")
+        self._spline = UniformGridCubic(np.log(np.asarray(x, dtype=float)),
+                                        np.log(y))
+
+    def __call__(self, x: float) -> float:
+        return math.exp(self._spline(math.log(x)))
+
+    def log_derivative(self, x: float) -> float:
+        """d ln y / d ln x at x."""
+        return self._spline.derivative(math.log(x))
+
+    def vector(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(self._spline.vector(np.log(np.asarray(x, dtype=float))))

@@ -1,0 +1,42 @@
+"""Plain-text table formatting for benchmark/experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.  Used by every benchmark to print the paper-style tables.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    srows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in srows)
+    return "\n".join(out) + "\n"

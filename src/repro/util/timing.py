@@ -1,0 +1,42 @@
+"""Wall-clock / CPU timing helpers used by the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock + process-CPU stopwatch.
+
+    Mirrors the paper's use of ``etime`` to report both total CPU time
+    and wallclock time for a run.
+    """
+
+    wall: float = 0.0
+    cpu: float = 0.0
+    _wall_start: float | None = field(default=None, repr=False)
+    _cpu_start: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        return self
+
+    def stop(self) -> "Stopwatch":
+        if self._wall_start is None or self._cpu_start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.wall += time.perf_counter() - self._wall_start
+        self.cpu += time.process_time() - self._cpu_start
+        self._wall_start = None
+        self._cpu_start = None
+        return self
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

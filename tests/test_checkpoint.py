@@ -1,0 +1,115 @@
+"""PLINGER checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro import KGrid, LingerConfig
+from repro.errors import ParameterError
+from repro.linger import run_linger
+from repro.plinger.checkpoint import ModeJournal, run_plinger_checkpointed
+from tests.test_plinger import fake_compute
+
+
+@pytest.fixture
+def small_grid():
+    return KGrid.from_k(np.geomspace(1e-3, 0.01, 5))
+
+
+@pytest.fixture
+def config():
+    return LingerConfig(record_sources=False, keep_mode_results=False,
+                        rtol=3e-4)
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        j = ModeJournal(tmp_path / "run.journal")
+        h1, p1 = fake_compute(3)
+        h2, p2 = fake_compute(7, lmax=20)
+        j.append(h1, p1)
+        j.append(h2, p2)
+        done = j.replay()
+        assert set(done) == {3, 7}
+        assert np.allclose(done[7][1].f_gamma, p2.f_gamma)
+        assert done[3][0].lmax == p1.lmax
+
+    def test_empty_journal(self, tmp_path):
+        assert ModeJournal(tmp_path / "nope.journal").replay() == {}
+
+    def test_torn_write_ignored(self, tmp_path):
+        path = tmp_path / "run.journal"
+        j = ModeJournal(path)
+        h, p = fake_compute(1)
+        j.append(h, p)
+        with open(path, "a") as fh:
+            fh.write("1.0 2.0 | 3.0 4.0")  # truncated tail
+        done = j.replay()
+        assert set(done) == {1}
+
+    def test_mismatched_pair_rejected(self, tmp_path):
+        h, _ = fake_compute(1)
+        _, p = fake_compute(2)
+        with pytest.raises(Exception):
+            ModeJournal(tmp_path / "x.journal").append(h, p)
+
+
+class TestCheckpointedRuns:
+    def test_fresh_run_matches_serial(self, tmp_path, scdm, bg_scdm,
+                                      thermo_scdm, small_grid, config):
+        result, resumed = run_plinger_checkpointed(
+            scdm, small_grid, tmp_path / "run.journal", config,
+            nproc=3, background=bg_scdm, thermo=thermo_scdm,
+        )
+        assert resumed == 0
+        serial = run_linger(scdm, small_grid, config, background=bg_scdm,
+                            thermo=thermo_scdm)
+        assert np.allclose(result.delta_m, serial.delta_m, rtol=1e-12)
+
+    def test_restart_skips_completed(self, tmp_path, scdm, bg_scdm,
+                                     thermo_scdm, small_grid, config):
+        journal = tmp_path / "run.journal"
+        # first run completes everything
+        r1, _ = run_plinger_checkpointed(
+            scdm, small_grid, journal, config, nproc=3,
+            background=bg_scdm, thermo=thermo_scdm,
+        )
+        # "restart": everything journaled, nothing recomputed
+        r2, resumed = run_plinger_checkpointed(
+            scdm, small_grid, journal, config, nproc=3,
+            background=bg_scdm, thermo=thermo_scdm,
+        )
+        assert resumed == small_grid.nk
+        for a, b in zip(r1.payloads, r2.payloads):
+            assert np.allclose(a.f_gamma, b.f_gamma)
+
+    def test_partial_restart(self, tmp_path, scdm, bg_scdm, thermo_scdm,
+                             small_grid, config):
+        journal_path = tmp_path / "run.journal"
+        # simulate an interrupted run: journal only modes 1 and 4 from a
+        # complete reference run
+        full = run_linger(scdm, small_grid, config, background=bg_scdm,
+                          thermo=thermo_scdm)
+        j = ModeJournal(journal_path)
+        for i in (0, 3):
+            j.append(full.headers[i], full.payloads[i])
+
+        result, resumed = run_plinger_checkpointed(
+            scdm, small_grid, journal_path, config, nproc=3,
+            background=bg_scdm, thermo=thermo_scdm,
+        )
+        assert resumed == 2
+        assert np.allclose(result.delta_m, full.delta_m, rtol=1e-10)
+        # ik ordering intact
+        assert [h.ik for h in result.headers] == [1, 2, 3, 4, 5]
+
+    def test_foreign_journal_rejected(self, tmp_path, scdm, bg_scdm,
+                                      thermo_scdm, config):
+        j = ModeJournal(tmp_path / "foreign.journal")
+        h, p = fake_compute(99)
+        j.append(h, p)
+        with pytest.raises(ParameterError):
+            run_plinger_checkpointed(
+                scdm, KGrid.from_k([0.001, 0.002]),
+                tmp_path / "foreign.journal", config, nproc=2,
+                background=bg_scdm, thermo=thermo_scdm,
+            )

@@ -1,0 +1,52 @@
+"""The command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import MODELS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_models_registered(self):
+        assert set(MODELS) == {"scdm", "tilted", "lcdm", "mdm"}
+
+    def test_run_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_scaling_defaults(self):
+        args = build_parser().parse_args(["scaling"])
+        assert args.machine == "IBM SP2"
+        assert 64 in args.nodes
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--model", "scdm"]) == 0
+        out = capsys.readouterr().out
+        assert "z recombination" in out
+        assert "conformal age" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--nk", "100", "--nodes", "4", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "efficiency" in out
+        assert "Gflop/s" in out
+
+    def test_run_and_spectrum_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "run.npz"
+        assert main([
+            "run", "--nk", "6", "--k-min", "3e-5", "--k-max", "1e-3",
+            "--lmax", "12", "--rtol", "3e-4", "--output", str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        capsys.readouterr()
+        assert main(["spectrum", str(out_file), "--l-max", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "delta-T_l" in out
+        # the quadrupole line carries the COBE normalization
+        assert "27.89" in out

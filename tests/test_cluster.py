@@ -1,0 +1,209 @@
+"""Machine models, the cost model, and the schedule simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    CRAY_C90,
+    CRAY_T3D,
+    DEC_ALPHA_CLUSTER,
+    IBM_SP2,
+    IBM_SP2_TUNED,
+    MACHINES,
+    calibrated_cost_model,
+    paper_cost_model,
+    scaling_study,
+    simulate_schedule,
+)
+from repro.errors import ScheduleError
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return paper_cost_model()
+
+
+@pytest.fixture(scope="module")
+def production_grid(cm):
+    k_big = (cm.lmax_cap - cm.lmax_floor) / cm.lmax_per_ktau / cm.tau0
+    return np.linspace(1e-4, k_big, 5000)
+
+
+class TestMachines:
+    def test_paper_sustained_rates(self):
+        assert CRAY_C90.mflop_per_node == 570.0
+        assert IBM_SP2.mflop_per_node == 40.0
+        assert IBM_SP2_TUNED.mflop_per_node == 58.0
+        assert CRAY_T3D.mflop_per_node == 15.0
+
+    def test_paper_efficiency_fractions(self):
+        # "a significant fraction" (57%), "a seventh" (15%), "a tenth"
+        assert CRAY_C90.efficiency_vs_peak == pytest.approx(0.57)
+        assert IBM_SP2.efficiency_vs_peak == pytest.approx(1 / 7, abs=0.01)
+        assert CRAY_T3D.efficiency_vs_peak == pytest.approx(0.10)
+
+    def test_t3d_master_on_front_end(self):
+        assert not CRAY_T3D.master_cohabits
+        assert IBM_SP2.master_cohabits
+
+    def test_registry(self):
+        assert "IBM SP2" in MACHINES
+        assert len(MACHINES) == 5
+
+    def test_message_time_positive(self):
+        for m in MACHINES.values():
+            assert m.message_seconds(80_000) > m.latency_s
+
+
+class TestPaperCostModel:
+    def test_smallest_k_anchor(self, cm):
+        """Paper: the smallest k needs at least two CPU-minutes on a
+        Power 2 chip."""
+        minutes = cm.work_seconds(1e-4, IBM_SP2.mflop_per_node) / 60.0
+        assert minutes == pytest.approx(2.0, rel=0.05)
+
+    def test_largest_k_anchor(self, cm, production_grid):
+        """Paper: the largest k can take up to half an hour."""
+        minutes = cm.work_seconds(production_grid[-1],
+                                  IBM_SP2.mflop_per_node) / 60.0
+        assert minutes == pytest.approx(30.0, rel=0.05)
+
+    def test_message_size_range(self, cm, production_grid):
+        """Paper: results messages run from ~150 bytes to ~80 kB."""
+        assert cm.message_bytes(production_grid[0]) < 500
+        assert cm.message_bytes(production_grid[-1]) == pytest.approx(
+            80_000, rel=0.01
+        )
+
+    def test_message_size_tracks_cpu(self, cm, production_grid):
+        """Paper: message length grows roughly in proportion to CPU.
+
+        Both quantities have floors (minimum step count, fixed header),
+        so the proportionality holds once the mode is past them.
+        """
+        k = production_grid[production_grid * cm.tau0 > 500]
+        k = k[cm.lmax(k) < cm.lmax_cap]  # below the moment cap
+        ratio = cm.message_bytes(k) / cm.flops(k)
+        assert ratio.max() / ratio.min() < 2.5
+
+    def test_production_run_total(self, cm, production_grid):
+        """Paper: a full run is roughly 75 C90 CPU-hours."""
+        hours = np.sum(
+            cm.work_seconds(production_grid, CRAY_C90.mflop_per_node)
+        ) / 3600.0
+        assert hours == pytest.approx(75.0, rel=0.1)
+
+    def test_cost_monotone_in_k(self, cm):
+        k = np.linspace(1e-4, 0.5, 100)
+        assert np.all(np.diff(cm.flops(k)) > 0)
+
+
+class TestCalibratedCostModel:
+    def test_fits_measured_steps(self, bg_scdm, thermo_scdm):
+        cm = calibrated_cost_model(bg_scdm, thermo_scdm,
+                                   k_samples=(0.005, 0.05), rtol=1e-4)
+        assert cm.steps_floor >= 1.0
+        assert cm.steps_per_ktau >= 0.0
+        # sanity: a mid-range mode costs a finite positive amount
+        assert cm.flops(0.02) > 0
+
+    def test_needs_two_samples(self, bg_scdm, thermo_scdm):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            calibrated_cost_model(bg_scdm, thermo_scdm, k_samples=(0.01,))
+
+
+class TestScheduler:
+    def test_single_worker_serializes(self, cm):
+        ks = np.linspace(1e-4, 0.3, 40)[::-1]
+        r = simulate_schedule(ks, IBM_SP2, cm, 1)
+        assert r.wallclock_s == pytest.approx(r.cpu_total_s, rel=1e-3)
+        assert r.efficiency == pytest.approx(1.0, rel=1e-3)
+
+    def test_cpu_independent_of_node_count(self, cm):
+        """Paper §5.2: 'the CPU time does not change as the number of
+        processors is increased'."""
+        ks = np.linspace(1e-4, 0.3, 200)[::-1]
+        cpus = [simulate_schedule(ks, IBM_SP2, cm, n).cpu_total_s
+                for n in (1, 8, 64)]
+        assert max(cpus) / min(cpus) < 1.0001
+
+    def test_efficiency_95_percent_at_64(self, cm):
+        """Paper §5.2: parallel efficiency ~95% on 64 nodes for a test
+        run."""
+        ks = np.sort(np.linspace(1e-4, 0.3, 500))[::-1]
+        r = simulate_schedule(ks, IBM_SP2, cm, 64)
+        assert r.efficiency > 0.93
+
+    def test_largest_first_beats_smallest_first(self, cm):
+        """Paper §5.2: computing the largest k first minimizes end-of-
+        run idle time."""
+        ks = np.sort(np.linspace(1e-4, 0.3, 300))
+        eff_sf = simulate_schedule(ks, IBM_SP2, cm, 64).efficiency
+        eff_lf = simulate_schedule(ks[::-1], IBM_SP2, cm, 64).efficiency
+        assert eff_lf > eff_sf
+
+    def test_longer_runs_less_idle(self, cm):
+        """Paper §5.2: 'For production runs ... this idle time will be
+        less significant.'"""
+        short = np.sort(np.linspace(1e-4, 0.3, 200))[::-1]
+        long = np.sort(np.linspace(1e-4, 0.3, 2000))[::-1]
+        eff_short = simulate_schedule(short, IBM_SP2, cm, 128).efficiency
+        eff_long = simulate_schedule(long, IBM_SP2, cm, 128).efficiency
+        assert eff_long > eff_short
+
+    def test_master_cpu_negligible(self, cm):
+        ks = np.linspace(1e-4, 0.3, 500)[::-1]
+        r = simulate_schedule(ks, IBM_SP2, cm, 64)
+        assert r.master_cpu_s < 1e-3 * r.wallclock_s
+
+    def test_too_many_nodes_rejected(self, cm):
+        with pytest.raises(ScheduleError):
+            simulate_schedule(np.array([0.01]), CRAY_T3D, cm, 512)
+
+    def test_empty_work_rejected(self, cm):
+        with pytest.raises(ScheduleError):
+            simulate_schedule(np.array([]), IBM_SP2, cm, 4)
+
+    @given(n=st.integers(1, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_wallclock_bounds(self, cm, n):
+        """max(item) <= wall <= cpu/n + max(item) + comm slop."""
+        ks = np.linspace(1e-3, 0.3, 123)[::-1]
+        r = simulate_schedule(ks, IBM_SP2, cm, n)
+        per_item = cm.work_seconds(ks, IBM_SP2.mflop_per_node)
+        assert r.wallclock_s >= per_item.max() * 0.999
+        assert r.wallclock_s <= r.cpu_total_s / n + per_item.max() + 1.0
+
+
+class TestPaperHeadlines:
+    """Section 5.1's Gflop table, emergent from model + schedule."""
+
+    def test_sp2_64_nodes(self, cm, production_grid):
+        r = simulate_schedule(production_grid[::-1], IBM_SP2, cm, 64)
+        assert r.gflops_sustained == pytest.approx(2.4, rel=0.15)
+
+    def test_sp2_256_nodes(self, cm, production_grid):
+        r = simulate_schedule(production_grid[::-1], IBM_SP2, cm, 256)
+        assert r.gflops_sustained == pytest.approx(9.6, rel=0.15)
+
+    def test_sp2_tuned_256_nodes(self, cm, production_grid):
+        r = simulate_schedule(production_grid[::-1], IBM_SP2_TUNED, cm, 256)
+        assert r.gflops_sustained == pytest.approx(15.0, rel=0.15)
+
+    def test_t3d_256_nodes(self, cm, production_grid):
+        r = simulate_schedule(production_grid[::-1], CRAY_T3D, cm, 256)
+        assert r.gflops_sustained == pytest.approx(3.7, rel=0.15)
+
+    def test_scaling_study_respects_machine_size(self, cm):
+        ks = np.linspace(1e-4, 0.3, 50)[::-1]
+        res = scaling_study(ks, CRAY_T3D, cm,
+                            node_counts=(64, 256, 512))
+        assert [r.n_workers for r in res] == [64, 256]
+
+    def test_alpha_cluster_supported(self, cm):
+        ks = np.linspace(1e-4, 0.3, 50)[::-1]
+        r = simulate_schedule(ks, DEC_ALPHA_CLUSTER, cm, 8)
+        assert r.efficiency > 0.5

@@ -1,0 +1,65 @@
+"""Physical constants and derived quantities."""
+
+import math
+
+import pytest
+
+from repro import constants as const
+
+
+class TestFundamental:
+    def test_speed_of_light(self):
+        assert const.C_LIGHT == pytest.approx(2.998e10, rel=1e-3)
+
+    def test_hbar_consistent_with_h(self):
+        assert const.HBAR == pytest.approx(const.H_PLANCK / (2 * math.pi))
+
+    def test_mpc_in_seconds(self):
+        # one Mpc of light travel is about 3.26 million years
+        years = const.MPC_S / 3.15576e7
+        assert years == pytest.approx(3.26e6, rel=0.01)
+
+    def test_hubble_distance(self):
+        # c / (100 km/s/Mpc) = 2997.92458 Mpc
+        assert const.HUBBLE_MPC == pytest.approx(
+            const.C_LIGHT / (100.0 * const.KM_CM), rel=1e-9
+        )
+
+
+class TestRadiation:
+    def test_omega_gamma_h2_matches_literature(self):
+        # standard value 2.47e-5 at T = 2.726 K
+        assert const.omega_gamma_h2(2.726) == pytest.approx(2.47e-5, rel=0.01)
+
+    def test_omega_gamma_scales_as_t4(self):
+        r = const.omega_gamma_h2(2.0 * 2.726) / const.omega_gamma_h2(2.726)
+        assert r == pytest.approx(16.0, rel=1e-12)
+
+    def test_neutrino_factor(self):
+        # (7/8)(4/11)^(4/3) = 0.22711
+        assert const.NU_MASSLESS_FACTOR == pytest.approx(0.22711, rel=1e-4)
+
+    def test_nu_temperature_ratio(self):
+        assert const.T_NU_OVER_T_GAMMA == pytest.approx(0.71377, rel=1e-4)
+
+
+class TestCriticalDensity:
+    def test_value_h1(self):
+        # rho_crit(h=1) ~ 1.88e-29 g/cm^3
+        assert const.rho_critical_cgs(1.0) == pytest.approx(1.88e-29, rel=0.01)
+
+    def test_scales_as_h2(self):
+        assert const.rho_critical_cgs(0.5) == pytest.approx(
+            0.25 * const.rho_critical_cgs(1.0)
+        )
+
+
+class TestAtomic:
+    def test_hydrogen_ionization_in_ev(self):
+        assert const.E_ION_H / const.EV == pytest.approx(13.6057, rel=1e-4)
+
+    def test_helium_ordering(self):
+        assert const.E_ION_H < const.E_ION_HE1 < const.E_ION_HE2
+
+    def test_two_photon_rate(self):
+        assert const.LAMBDA_2S_1S == pytest.approx(8.227)

@@ -1,0 +1,140 @@
+"""Angular correlation function and bandpower fitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import COMPILATION_1995, BandPower
+from repro.errors import ParameterError
+from repro.spectra import (
+    angular_correlation,
+    beam_window,
+    chi_squared,
+    fit_amplitude,
+)
+from repro.spectra.correlation import correlation_matrix_check
+
+
+class TestBeamWindow:
+    def test_no_beam_is_unity(self):
+        l = np.arange(2, 100)
+        assert np.allclose(beam_window(l, 0.0), 1.0)
+
+    def test_suppresses_high_l(self):
+        l = np.array([2, 20, 200])
+        w = beam_window(l, fwhm_deg=7.0)
+        assert w[0] > w[1] > w[2]
+        assert w[2] < 1e-3
+
+    def test_negative_fwhm_rejected(self):
+        with pytest.raises(ParameterError):
+            beam_window(np.array([2]), -1.0)
+
+
+class TestAngularCorrelation:
+    def test_c0_is_variance(self):
+        """C(0) = sum (2l+1) C_l / 4 pi."""
+        l = np.arange(2, 64)
+        cl = 1.0 / (l * (l + 1.0))
+        c0 = float(angular_correlation(l, cl, np.array([0.0]))[0])
+        expected = np.sum((2 * l + 1.0) * cl) / (4 * np.pi)
+        assert c0 == pytest.approx(expected, rel=1e-10)
+
+    def test_single_multipole_is_legendre(self):
+        """A delta-function spectrum gives a pure Legendre polynomial."""
+        l = np.array([5, 6])
+        cl = np.array([1.0, 1e-30])
+        theta = np.array([0.0, 30.0, 60.0, 90.0])
+        c = angular_correlation(l, cl, theta)
+        from numpy.polynomial.legendre import Legendre
+
+        p5 = Legendre.basis(5)(np.cos(np.radians(theta)))
+        expected = 11.0 / (4 * np.pi) * p5
+        assert np.allclose(c, expected, atol=1e-6)
+
+    def test_beam_suppresses_small_angles_structure(self):
+        l = np.arange(2, 300)
+        cl = np.full(l.size, 1.0) / (l * (l + 1.0))
+        c_sharp = angular_correlation(l, cl, np.array([0.0]))[0]
+        c_smooth = angular_correlation(l, cl, np.array([0.0]),
+                                       fwhm_deg=10.0)[0]
+        assert c_smooth < c_sharp
+
+    def test_positivity_diagnostic(self):
+        l = np.arange(2, 64)
+        cl = 1.0 / (l * (l + 1.0))
+        assert correlation_matrix_check(l, cl) <= 1.0 + 1e-9
+
+    def test_negative_cl_rejected(self):
+        with pytest.raises(ParameterError):
+            angular_correlation(np.array([2, 3]), np.array([1.0, -1.0]),
+                                np.array([10.0]))
+
+
+class TestChiSquared:
+    @pytest.fixture
+    def flat_curve(self):
+        l = np.arange(2, 700)
+        return l, np.full(l.size, 35.0)  # uK, flat band power
+
+    def test_perfect_match_zero(self):
+        data = (BandPower("X", 10, 5, 20, 30.0, 3.0, 3.0),)
+        l = np.arange(2, 100)
+        bp = np.full(l.size, 30.0)
+        assert chi_squared(l, bp, compilation=data) == pytest.approx(0.0)
+
+    def test_asymmetric_errors_used(self):
+        data = (BandPower("X", 10, 5, 20, 30.0, 10.0, 1.0),)
+        l = np.arange(2, 100)
+        high = chi_squared(l, np.full(l.size, 40.0), compilation=data)
+        low = chi_squared(l, np.full(l.size, 20.0), compilation=data)
+        assert high == pytest.approx(1.0)  # (10/10)^2
+        assert low == pytest.approx(100.0)  # (10/1)^2
+
+    def test_upper_limit_one_sided(self):
+        data = (BandPower("UL", 500, 300, 700, 50.0, 50.0, 50.0),)
+        l = np.arange(2, 1000)
+        below = chi_squared(l, np.full(l.size, 20.0), compilation=data,
+                            include_upper_limits=True)
+        above = chi_squared(l, np.full(l.size, 80.0), compilation=data,
+                            include_upper_limits=True)
+        assert below == 0.0
+        assert above > 0.0
+
+    def test_scale_dependence(self, flat_curve):
+        l, bp = flat_curve
+        chi_1 = chi_squared(l, bp, 1.0)
+        chi_tiny = chi_squared(l, bp, 0.01)
+        assert chi_tiny > chi_1  # vastly underpredicting is terrible
+
+    def test_coverage_required(self):
+        l = np.arange(50, 100)
+        with pytest.raises(ParameterError):
+            chi_squared(l, np.full(l.size, 30.0))  # COBE points uncovered
+
+
+class TestFitAmplitude:
+    def test_recovers_known_scale(self):
+        """Synthesize data from a curve, scale the curve down, fit."""
+        data = tuple(
+            BandPower(f"S{i}", le, le - 5, le + 5, 40.0, 4.0, 4.0)
+            for i, le in enumerate((10, 50, 100, 200))
+        )
+        l = np.arange(2, 400)
+        curve = np.full(l.size, 20.0)  # true scale = 2
+        fit = fit_amplitude(l, curve, compilation=data)
+        assert fit.scale == pytest.approx(2.0, rel=0.02)
+        assert fit.chi2 == pytest.approx(0.0, abs=0.1)
+
+    def test_scdm_fits_1995_data_reasonably(self):
+        """A flat 30-40 uK curve (the SCDM ballpark) is an acceptable
+        fit to the 1995 compilation — the paper-era state of play."""
+        l = np.arange(2, 700)
+        bp = np.full(l.size, 35.0)
+        fit = fit_amplitude(l, bp)
+        assert fit.chi2_per_dof < 3.0
+
+    def test_needs_detections(self):
+        data = (BandPower("UL", 500, 300, 700, 50.0, 50.0, 50.0),)
+        with pytest.raises(ParameterError):
+            fit_amplitude(np.arange(2, 1000), np.ones(998),
+                          compilation=data)

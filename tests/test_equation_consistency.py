@@ -1,0 +1,143 @@
+"""Equation-level consistency along recorded solutions.
+
+The recorder stores both state variables and their analytic time
+derivatives (hdot, etadot, alpha_dot...).  Splining the recorded state
+and differentiating numerically must reproduce those derivatives —
+a direct check that the equations coded in the RHS are the equations
+the solution actually obeys, independent of any physics expectation.
+"""
+
+import numpy as np
+import pytest
+from scipy.interpolate import CubicSpline
+
+
+def spline_derivative(tau, values):
+    return CubicSpline(tau, values).derivative(1)(tau)
+
+
+@pytest.fixture(scope="module")
+def sol(mode_k05):
+    """Records restricted to the smooth full-hierarchy region (the
+    spline derivative is inaccurate at the grid edges and across the
+    TCA switch)."""
+    m = mode_k05
+    sel = (m.tau > 1.3 * m.tau_switch) & (m.tau < 0.97 * m.tau_end)
+    r = {name: arr[sel] for name, arr in m.records.items()}
+    return m, m.tau[sel], r
+
+
+class TestMetricConsistency:
+    def test_eta_dot_matches_records(self, sol):
+        m, tau, r = sol
+        num = spline_derivative(tau, r["eta"])
+        scale = np.max(np.abs(r["etadot"]))
+        # interior points only (spline ends are one-sided)
+        assert np.allclose(num[3:-3], r["etadot"][3:-3], atol=0.02 * scale)
+
+    def test_alpha_dot_matches_records(self, sol):
+        """alpha' is computed *algebraically* (= psi - H alpha); the
+        numerical derivative of the recorded alpha must agree."""
+        m, tau, r = sol
+        num = spline_derivative(tau, r["alpha"])
+        scale = np.max(np.abs(r["alpha_dot"]))
+        assert np.allclose(num[3:-3], r["alpha_dot"][3:-3],
+                           atol=0.03 * scale)
+
+    def test_phi_definition(self, sol, bg_scdm):
+        """phi = eta - H alpha pointwise."""
+        m, tau, r = sol
+        hc = bg_scdm.conformal_hubble(r["a"])
+        assert np.allclose(r["phi"], r["eta"] - hc * r["alpha"],
+                           rtol=1e-10)
+
+    def test_psi_from_shear_scaling(self, sol, scdm):
+        """k^2 (phi - psi) = 12 pi G a^2 (rho+p) sigma: with only
+        radiation carrying shear, the recorded gap must scale away like
+        the radiation fraction — tiny by the matter era."""
+        m, tau, r = sol
+        gap_early = np.abs(r["phi"] - r["psi"])[r["a"] < 2e-3]
+        gap_late = np.abs(r["phi"] - r["psi"])[r["a"] > 0.2]
+        phi_scale = np.max(np.abs(r["phi"]))
+        assert np.max(gap_late) < 0.01 * phi_scale
+        assert np.max(gap_early) > np.max(gap_late)
+
+
+class TestFluidConsistency:
+    def test_cdm_continuity(self, sol):
+        """delta_c' = -h'/2 along the solution."""
+        m, tau, r = sol
+        num = spline_derivative(tau, r["delta_c"])
+        expected = -0.5 * r["hdot"]
+        scale = np.max(np.abs(expected))
+        assert np.allclose(num[3:-3], expected[3:-3], atol=0.02 * scale)
+
+    def test_baryon_continuity(self, sol):
+        """delta_b' = -theta_b - h'/2."""
+        m, tau, r = sol
+        num = spline_derivative(tau, r["delta_b"])
+        expected = -r["theta_b"] - 0.5 * r["hdot"]
+        scale = np.max(np.abs(expected))
+        assert np.allclose(num[3:-3], expected[3:-3], atol=0.02 * scale)
+
+    def _dense_window(self, mode, tau):
+        """The uniformly-sampled window around recombination.
+
+        The free-streaming photon/neutrino records oscillate at
+        frequency ~k; outside the dense window the log-spaced grid
+        aliases them and a spline derivative is meaningless.
+        """
+        return (tau > 1.3 * mode.tau_switch) & (tau < 430.0)
+
+    def test_photon_continuity(self, sol):
+        """delta_g' = -(4/3) theta_g - (2/3) h' (dense window)."""
+        m, tau, r = sol
+        sel = self._dense_window(m, tau)
+        num = spline_derivative(tau[sel], r["delta_g"][sel])
+        expected = (-(4.0 / 3.0) * r["theta_g"] - (2.0 / 3.0) * r["hdot"])[sel]
+        scale = np.max(np.abs(expected))
+        assert np.allclose(num[3:-3], expected[3:-3], atol=0.03 * scale)
+
+    def test_neutrino_continuity(self, sol):
+        """delta_nu' = -(4/3) theta_nu - (2/3) h' (dense window)."""
+        m, tau, r = sol
+        sel = self._dense_window(m, tau)
+        num = spline_derivative(tau[sel], r["delta_nu"][sel])
+        expected = (-(4.0 / 3.0) * r["theta_nu"]
+                    - (2.0 / 3.0) * r["hdot"])[sel]
+        scale = np.max(np.abs(expected))
+        assert np.allclose(num[3:-3], expected[3:-3], atol=0.03 * scale)
+
+
+class TestEinsteinConstraint:
+    def test_energy_constraint_rebuilt(self, sol, scdm):
+        """h' = 2(k^2 eta + 4 pi G a^2 delta-rho)/H with delta-rho
+        rebuilt from the recorded species perturbations."""
+        m, tau, r = sol
+        h0sq = scdm.h0_mpc**2
+        a = r["a"]
+        gdrho = 1.5 * h0sq * (
+            (scdm.omega_c * r["delta_c"] + scdm.omega_b * r["delta_b"]) / a
+            + (scdm.omega_gamma * r["delta_g"]
+               + scdm.omega_nu_massless * r["delta_nu"]) / a**2
+        )
+        from repro.background import Background
+
+        hc = Background(scdm).conformal_hubble(a)
+        expected = 2.0 * (m.k**2 * r["eta"] + gdrho) / hc
+        scale = np.max(np.abs(r["hdot"]))
+        assert np.allclose(r["hdot"], expected, atol=1e-6 * scale)
+
+    def test_momentum_constraint_rebuilt(self, sol, scdm):
+        """eta' = 4 pi G a^2 (rho+p) theta / k^2, same rebuild."""
+        m, tau, r = sol
+        h0sq = scdm.h0_mpc**2
+        a = r["a"]
+        gdq = 1.5 * h0sq * (
+            scdm.omega_b * r["theta_b"] / a
+            + (4.0 / 3.0) * (scdm.omega_gamma * r["theta_g"]
+                             + scdm.omega_nu_massless * r["theta_nu"]) / a**2
+        )
+        expected = gdq / m.k**2
+        scale = np.max(np.abs(r["etadot"]))
+        assert np.allclose(r["etadot"], expected, atol=1e-6 * scale)

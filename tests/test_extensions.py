@@ -1,0 +1,118 @@
+"""Extension features: reionization, isocurvature, E-mode polarization."""
+
+import numpy as np
+import pytest
+
+from repro import Background, ParameterError, ThermalHistory, standard_cdm
+from repro.perturbations import default_record_grid, evolve_mode
+from repro.perturbations.initial import isocurvature_initial_conditions
+from repro.perturbations.state import StateLayout
+from repro.spectra import cl_from_los
+from repro.spectra.polarization import cl_ee_from_los, polarization_source
+
+
+class TestReionization:
+    @pytest.fixture(scope="class")
+    def thermo_reion(self, bg_scdm):
+        return ThermalHistory(bg_scdm, z_reion=50.0)
+
+    def test_optical_depth_raised(self, thermo_reion, thermo_scdm):
+        assert thermo_reion.tau_reion > 0.01
+        assert thermo_scdm.tau_reion < 1e-3
+
+    def test_xe_reionized_today(self, thermo_reion, scdm):
+        f_he = scdm.y_he / (4 * (1 - scdm.y_he))
+        assert float(thermo_reion.x_e(1.0)) == pytest.approx(
+            1 + f_he, rel=1e-3
+        )
+
+    def test_xe_untouched_at_recombination(self, thermo_reion, thermo_scdm):
+        a = 1.0 / 1101.0
+        assert float(thermo_reion.x_e(a)) == pytest.approx(
+            float(thermo_scdm.x_e(a)), rel=1e-6
+        )
+
+    def test_recombination_peak_still_found(self, thermo_reion):
+        assert 1000 < thermo_reion.z_rec < 1250
+
+    def test_visibility_rescattering_bump(self, thermo_reion, bg_scdm):
+        """Reionization adds a second visibility bump at low redshift."""
+        a_reion = 1.0 / 31.0
+        tau_late = float(bg_scdm.conformal_time(a_reion))
+        g_late = float(thermo_reion.visibility(tau_late))
+        assert g_late > 1e-6
+
+    def test_optical_depth_scales_with_z_reion(self, bg_scdm):
+        t1 = ThermalHistory(bg_scdm, z_reion=20.0)
+        t2 = ThermalHistory(bg_scdm, z_reion=60.0)
+        assert t2.tau_reion > 2.0 * t1.tau_reion
+
+
+class TestIsocurvature:
+    def test_initial_state_entropy_like(self, bg_scdm):
+        lo = StateLayout(lmax_photon=8, lmax_nu=8)
+        y = isocurvature_initial_conditions(lo, bg_scdm, 0.05, 0.5)
+        assert y[lo.DELTA_C] == pytest.approx(1.0, abs=0.02)
+        assert abs(y[lo.sl_fg][0]) < 0.05  # photons nearly unperturbed
+        assert abs(y[lo.ETA]) < 0.05  # no initial curvature
+
+    def test_late_start_rejected(self, bg_scdm):
+        lo = StateLayout(lmax_photon=8, lmax_nu=8)
+        with pytest.raises(ParameterError):
+            # tau = 100 Mpc is near equality: far too late for the series
+            isocurvature_initial_conditions(lo, bg_scdm, 1e-3, 100.0)
+
+    def test_mode_evolves_and_grows(self, bg_scdm, thermo_scdm):
+        m = evolve_mode(bg_scdm, thermo_scdm, 0.05, rtol=1e-4,
+                        initial_conditions="isocurvature")
+        assert abs(m.y_final[m.layout.DELTA_C]) > 100.0
+
+    def test_differs_from_adiabatic(self, bg_scdm, thermo_scdm):
+        m_iso = evolve_mode(bg_scdm, thermo_scdm, 0.02, rtol=1e-4,
+                            initial_conditions="isocurvature")
+        m_ad = evolve_mode(bg_scdm, thermo_scdm, 0.02, rtol=1e-4)
+        r = (m_iso.y_final[m_iso.layout.DELTA_C]
+             / m_ad.y_final[m_ad.layout.DELTA_C])
+        assert not np.isclose(abs(r), 1.0, rtol=0.2)
+
+    def test_unknown_ic_name_rejected(self, bg_scdm, thermo_scdm):
+        with pytest.raises(ParameterError):
+            evolve_mode(bg_scdm, thermo_scdm, 0.02,
+                        initial_conditions="axion")
+
+    def test_amplitude_linearity(self, bg_scdm, thermo_scdm):
+        m1 = evolve_mode(bg_scdm, thermo_scdm, 0.03, rtol=1e-5,
+                         initial_conditions="isocurvature", amplitude=1.0)
+        m2 = evolve_mode(bg_scdm, thermo_scdm, 0.03, rtol=1e-5,
+                         initial_conditions="isocurvature", amplitude=2.0)
+        assert m2.y_final[m2.layout.DELTA_C] == pytest.approx(
+            2.0 * m1.y_final[m1.layout.DELTA_C], rel=1e-3
+        )
+
+
+class TestPolarization:
+    def test_ee_spectrum_positive(self, linger_small):
+        l = np.arange(2, 12)
+        _, cl_ee = cl_ee_from_los(linger_small, l)
+        assert np.all(cl_ee >= 0.0)
+
+    def test_ee_much_smaller_than_tt(self, linger_small):
+        """Large-angle E polarization is far below temperature power
+        (no reionization in the paper's model)."""
+        l = np.arange(2, 12)
+        _, cl_tt = cl_from_los(linger_small, l)
+        _, cl_ee = cl_ee_from_los(linger_small, l)
+        assert np.all(cl_ee < 0.05 * cl_tt)
+
+    def test_source_vanishes_early(self, linger_small, mode_k05):
+        thermo = linger_small.thermo
+        src = polarization_source(mode_k05, thermo,
+                                  linger_small.background.tau0)
+        early = src.tau < 0.3 * thermo.tau_rec
+        peak = np.max(np.abs(src.source))
+        assert peak > 0
+        assert np.max(np.abs(src.source[early])) < 1e-3 * peak
+
+    def test_l_below_two_rejected(self, linger_small):
+        with pytest.raises(ParameterError):
+            cl_ee_from_los(linger_small, np.array([1, 2]))

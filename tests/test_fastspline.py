@@ -1,0 +1,96 @@
+"""Fast uniform-grid splines (the RHS hot-path lookups)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.fastspline import LogLogCubic, UniformGridCubic
+
+
+class TestUniformGridCubic:
+    def test_matches_scipy_inside(self):
+        from scipy.interpolate import CubicSpline
+
+        x = np.linspace(0.0, 10.0, 101)
+        y = np.sin(x) * np.exp(-0.1 * x)
+        fast = UniformGridCubic(x, y)
+        ref = CubicSpline(x, y)
+        for xi in np.linspace(0.05, 9.95, 37):
+            assert fast(xi) == pytest.approx(float(ref(xi)), abs=1e-12)
+
+    def test_exact_at_knots(self):
+        x = np.linspace(-3, 3, 31)
+        y = x**3 - x
+        s = UniformGridCubic(x, y)
+        for xi, yi in zip(x, y):
+            assert s(float(xi)) == pytest.approx(float(yi), abs=1e-10)
+
+    def test_cubic_reproduced_exactly(self):
+        x = np.linspace(0, 1, 11)
+        y = 2 * x**3 - x**2 + 0.5
+        s = UniformGridCubic(x, y)
+        # a natural cubic spline does not reproduce a cubic exactly at
+        # the ends, but interior evaluation should be very close
+        assert s(0.55) == pytest.approx(2 * 0.55**3 - 0.55**2 + 0.5, abs=1e-3)
+
+    def test_derivative_matches_numeric(self):
+        x = np.linspace(0, 2 * math.pi, 200)
+        s = UniformGridCubic(x, np.sin(x))
+        for xi in (0.7, 2.1, 5.0):
+            num = (s(xi + 1e-6) - s(xi - 1e-6)) / 2e-6
+            assert s.derivative(xi) == pytest.approx(num, abs=1e-5)
+
+    def test_clamps_outside_range(self):
+        x = np.linspace(0, 1, 11)
+        s = UniformGridCubic(x, x.copy())
+        assert math.isfinite(s(-5.0))
+        assert math.isfinite(s(7.0))
+
+    def test_vector_matches_scalar(self):
+        x = np.linspace(0, 5, 51)
+        s = UniformGridCubic(x, np.cos(x))
+        pts = np.linspace(0.1, 4.9, 23)
+        vec = s.vector(pts)
+        scal = np.array([s(float(p)) for p in pts])
+        assert np.allclose(vec, scal, atol=1e-14)
+
+    def test_nonuniform_grid_rejected(self):
+        with pytest.raises(ValueError):
+            UniformGridCubic(np.array([0.0, 1.0, 3.0]), np.zeros(3))
+
+    @given(scale=st.floats(0.1, 100.0), shift=st.floats(-10, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_affine_invariance(self, scale, shift):
+        x = np.linspace(0, 1, 21)
+        y = np.exp(-x) + x**2
+        s1 = UniformGridCubic(x, y)
+        s2 = UniformGridCubic(scale * x + shift, y)
+        assert s2(scale * 0.4321 + shift) == pytest.approx(s1(0.4321),
+                                                           rel=1e-9)
+
+
+class TestLogLogCubic:
+    def test_power_law_exact(self):
+        x = np.geomspace(1e-3, 1e3, 121)
+        s = LogLogCubic(x, 5.0 * x**-2.5)
+        assert s(0.37) == pytest.approx(5.0 * 0.37**-2.5, rel=1e-10)
+
+    def test_log_derivative(self):
+        x = np.geomspace(0.01, 100, 201)
+        s = LogLogCubic(x, 3.0 * x**1.7)
+        assert s.log_derivative(1.23) == pytest.approx(1.7, abs=1e-8)
+
+    def test_positive_required(self):
+        x = np.geomspace(0.1, 10, 11)
+        y = np.ones(11)
+        y[5] = -1.0
+        with pytest.raises(ValueError):
+            LogLogCubic(x, y)
+
+    def test_vector(self):
+        x = np.geomspace(0.1, 10, 51)
+        s = LogLogCubic(x, x**0.5)
+        pts = np.geomspace(0.2, 8, 9)
+        assert np.allclose(s.vector(pts), pts**0.5, rtol=1e-8)

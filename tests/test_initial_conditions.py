@@ -1,0 +1,115 @@
+"""Adiabatic initial conditions (MB95 eqs. 96-98)."""
+
+import numpy as np
+import pytest
+
+from repro import ParameterError
+from repro.background.nu_massive import momentum_grid
+from repro.perturbations import StateLayout, adiabatic_initial_conditions
+from repro.perturbations.initial import neutrino_fraction
+
+
+@pytest.fixture
+def layout():
+    return StateLayout(lmax_photon=8, lmax_nu=8)
+
+
+class TestNeutrinoFraction:
+    def test_three_massless_species(self, bg_scdm):
+        # R_nu = 0.4052 for 3 species at (4/11)^(1/3) temperature
+        assert neutrino_fraction(bg_scdm) == pytest.approx(0.4052, abs=1e-3)
+
+    def test_massive_counted_as_relativistic(self, bg_mdm):
+        assert neutrino_fraction(bg_mdm) == pytest.approx(0.4052, abs=1e-3)
+
+
+class TestAdiabaticRelations:
+    def test_adiabatic_density_ratios(self, layout, bg_scdm):
+        y = adiabatic_initial_conditions(layout, bg_scdm, k=0.01,
+                                         tau_init=1.0)
+        delta_g = y[layout.sl_fg][0]
+        assert y[layout.DELTA_C] == pytest.approx(0.75 * delta_g)
+        assert y[layout.DELTA_B] == pytest.approx(0.75 * delta_g)
+        assert y[layout.sl_nl][0] == pytest.approx(delta_g)
+
+    def test_eta_leading_value(self, layout, bg_scdm):
+        # eta -> 2C as k tau -> 0
+        y = adiabatic_initial_conditions(layout, bg_scdm, k=1e-3,
+                                         tau_init=0.5, amplitude=1.0)
+        assert y[layout.ETA] == pytest.approx(2.0, abs=1e-4)
+
+    def test_h_leading_value(self, layout, bg_scdm):
+        k, tau = 0.01, 1.0
+        y = adiabatic_initial_conditions(layout, bg_scdm, k, tau)
+        assert y[layout.H] == pytest.approx((k * tau) ** 2)
+
+    def test_linear_in_amplitude(self, layout, bg_scdm):
+        y1 = adiabatic_initial_conditions(layout, bg_scdm, 0.01, 1.0,
+                                          amplitude=1.0)
+        y2 = adiabatic_initial_conditions(layout, bg_scdm, 0.01, 1.0,
+                                          amplitude=2.5)
+        # everything except the scale factor is linear in C
+        assert np.allclose(y2[1:], 2.5 * y1[1:])
+        assert y2[0] == y1[0]
+
+    def test_baryons_match_photon_velocity(self, layout, bg_scdm):
+        y = adiabatic_initial_conditions(layout, bg_scdm, 0.01, 1.0)
+        theta_g = 0.75 * 0.01 * y[layout.sl_fg][1]
+        assert y[layout.THETA_B] == pytest.approx(theta_g)
+
+    def test_neutrino_velocity_enhanced(self, layout, bg_scdm):
+        # theta_nu / theta_gamma = (23 + 4 R_nu)/(15 + 4 R_nu) > 1
+        y = adiabatic_initial_conditions(layout, bg_scdm, 0.01, 1.0)
+        theta_g = 0.75 * 0.01 * y[layout.sl_fg][1]
+        theta_n = 0.75 * 0.01 * y[layout.sl_nl][1]
+        rnu = neutrino_fraction(bg_scdm)
+        assert theta_n / theta_g == pytest.approx(
+            (23 + 4 * rnu) / (15 + 4 * rnu), rel=1e-10
+        )
+
+    def test_higher_moments_zero(self, layout, bg_scdm):
+        y = adiabatic_initial_conditions(layout, bg_scdm, 0.01, 1.0)
+        assert np.all(y[layout.sl_fg][2:] == 0.0)
+        assert np.all(y[layout.sl_gg] == 0.0)
+        assert np.all(y[layout.sl_nl][3:] == 0.0)
+
+
+class TestMassiveSector:
+    def test_psi_moments_consistent_with_fluid(self, bg_mdm):
+        """The Psi_l(q) initial data must integrate back to the fluid
+        perturbations they encode (MB95 eq. 97)."""
+        from repro.background import fermi_dirac_f0
+        from repro.background.nu_massive import I_RHO_MASSLESS
+
+        lo = StateLayout(lmax_photon=8, lmax_nu=8, nq=16, lmax_massive_nu=4)
+        q, w = momentum_grid(16, q_max=18.0)
+        k, tau = 0.01, 1.0
+        y = adiabatic_initial_conditions(lo, bg_mdm, k, tau, q_nodes=q)
+        psi = lo.psi_matrix(y)
+        f0 = fermi_dirac_f0(q)
+        # relativistic at this epoch: delta_nu = int q^3 f0 Psi0 / I_rho(0)
+        delta = np.sum(w * q**3 * f0 * psi[:, 0]) / I_RHO_MASSLESS
+        delta_g = y[lo.sl_fg][0]
+        assert delta == pytest.approx(delta_g, rel=1e-3)
+
+    def test_missing_q_nodes_raises(self, bg_mdm):
+        lo = StateLayout(lmax_photon=8, lmax_nu=8, nq=4, lmax_massive_nu=4)
+        with pytest.raises(ParameterError):
+            adiabatic_initial_conditions(lo, bg_mdm, 0.01, 1.0)
+
+    def test_massless_background_rejected(self, bg_scdm):
+        lo = StateLayout(lmax_photon=8, lmax_nu=8, nq=4, lmax_massive_nu=4)
+        q, _ = momentum_grid(4)
+        with pytest.raises(ParameterError):
+            adiabatic_initial_conditions(lo, bg_scdm, 0.01, 1.0, q_nodes=q)
+
+
+class TestValidation:
+    def test_large_ktau_rejected(self, layout, bg_scdm):
+        with pytest.raises(ParameterError):
+            adiabatic_initial_conditions(layout, bg_scdm, k=1.0, tau_init=1.0)
+
+    def test_negative_k_rejected(self, layout, bg_scdm):
+        with pytest.raises(ParameterError):
+            adiabatic_initial_conditions(layout, bg_scdm, k=-0.1,
+                                         tau_init=0.1)

@@ -1,0 +1,65 @@
+"""Wavenumber grids and dispatch ordering."""
+
+import numpy as np
+import pytest
+
+from repro import KGrid, ParameterError, cl_kgrid, matter_kgrid
+
+
+class TestKGrid:
+    def test_largest_first_default(self):
+        g = KGrid.from_k([0.1, 0.3, 0.2])
+        assert np.all(g.k == np.array([0.1, 0.2, 0.3]))
+        # dispatch order points at descending k
+        assert list(g.k[g.dispatch_order]) == [0.3, 0.2, 0.1]
+
+    def test_ascending_option(self):
+        g = KGrid.from_k([0.3, 0.1], largest_first=False)
+        assert list(g.k[g.dispatch_order]) == [0.1, 0.3]
+
+    def test_len_and_iter(self):
+        g = KGrid.from_k([0.1, 0.2])
+        assert len(g) == 2
+        assert list(g) == [0.1, 0.2]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ParameterError):
+            KGrid.from_k([-0.1, 0.2])
+
+    def test_duplicate_k_rejected(self):
+        with pytest.raises(ParameterError):
+            KGrid.from_k([0.1, 0.1])
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(ParameterError):
+            KGrid(k=np.array([0.1, 0.2]), dispatch_order=np.array([0, 0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            KGrid.from_k([])
+
+
+class TestClKGrid:
+    def test_covers_target_multipole(self, bg_scdm):
+        g = cl_kgrid(bg_scdm, l_max=100)
+        assert g.k[-1] * bg_scdm.tau0 > 100
+
+    def test_resolution_scales_with_points_per_period(self, bg_scdm):
+        g1 = cl_kgrid(bg_scdm, l_max=100, points_per_period=2)
+        g2 = cl_kgrid(bg_scdm, l_max=100, points_per_period=6)
+        assert g2.nk > 2 * g1.nk
+
+    def test_cap_respected(self, bg_scdm):
+        g = cl_kgrid(bg_scdm, l_max=3000, points_per_period=10, nk_cap=500)
+        assert g.nk <= 500
+
+
+class TestMatterKGrid:
+    def test_log_spaced(self):
+        g = matter_kgrid(1e-4, 1.0, 13)
+        ratios = g.k[1:] / g.k[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ParameterError):
+            matter_kgrid(1.0, 0.1)

@@ -1,0 +1,89 @@
+"""The serial LINGER driver and its result container."""
+
+import numpy as np
+import pytest
+
+from repro import KGrid, LingerConfig, ParameterError
+from repro.linger import run_linger
+from repro.linger.serial import compute_mode
+
+
+class TestConfig:
+    def test_fixed_lmax(self):
+        cfg = LingerConfig(lmax_photon=20, lmax_mode="fixed")
+        assert cfg.lmax_for_k(0.5, 10000.0) == 20
+
+    def test_scaled_lmax_grows_with_k(self):
+        cfg = LingerConfig(lmax_photon=8, lmax_mode="scaled",
+                           lmax_cap=2000)
+        small = cfg.lmax_for_k(1e-4, 10000.0)
+        big = cfg.lmax_for_k(0.1, 10000.0)
+        assert small < big <= 2000
+
+    def test_scaled_lmax_capped(self):
+        cfg = LingerConfig(lmax_mode="scaled", lmax_cap=100)
+        assert cfg.lmax_for_k(10.0, 10000.0) == 100
+
+    def test_unknown_mode_rejected(self):
+        cfg = LingerConfig(lmax_mode="bogus")
+        with pytest.raises(ParameterError):
+            cfg.lmax_for_k(0.1, 1.0)
+
+
+class TestComputeMode:
+    def test_header_payload_consistent(self, bg_scdm, thermo_scdm):
+        cfg = LingerConfig(rtol=1e-4, record_sources=False)
+        header, payload, mode = compute_mode(bg_scdm, thermo_scdm, 0.01,
+                                             ik=5, config=cfg)
+        assert header.ik == payload.ik == 5
+        assert header.lmax == payload.lmax == cfg.lmax_photon
+        assert header.k == payload.k == 0.01
+        assert np.allclose(payload.f_gamma, mode.f_gamma_final)
+        assert header.cpu_seconds > 0
+        assert header.n_rhs == mode.stats.n_rhs
+
+    def test_header_observables_match_records(self, bg_scdm, thermo_scdm):
+        cfg = LingerConfig(rtol=1e-4, record_sources=True)
+        header, _, mode = compute_mode(bg_scdm, thermo_scdm, 0.02, ik=1,
+                                       config=cfg)
+        assert header.delta_c == pytest.approx(
+            mode.records["delta_c"][-1], rel=1e-6
+        )
+        assert header.a_end == pytest.approx(1.0, rel=1e-4)
+
+
+class TestRunLinger:
+    def test_results_ascending_k(self, linger_small):
+        ks = [h.k for h in linger_small.headers]
+        assert ks == sorted(ks)
+        assert [h.ik for h in linger_small.headers] == list(
+            range(1, linger_small.kgrid.nk + 1)
+        )
+
+    def test_matter_growth_with_k(self, linger_small):
+        """|delta_m| today grows toward smaller scales over this k range
+        (all modes below the peak of the transfer function)."""
+        dm = np.abs(linger_small.delta_m)
+        assert dm[-1] > dm[0]
+
+    def test_modes_kept_when_requested(self, linger_small):
+        assert all(m is not None for m in linger_small.modes)
+
+    def test_modes_dropped_when_not(self, scdm, bg_scdm, thermo_scdm):
+        kg = KGrid.from_k([0.002, 0.01])
+        cfg = LingerConfig(rtol=1e-4, record_sources=False,
+                           keep_mode_results=False)
+        res = run_linger(scdm, kg, cfg, background=bg_scdm,
+                         thermo=thermo_scdm)
+        assert all(m is None for m in res.modes)
+
+    def test_theta_matrix_shape(self, linger_small):
+        th = linger_small.theta_l_matrix()
+        assert th.shape == (linger_small.kgrid.nk,
+                            linger_small.config.lmax_photon + 1)
+
+    def test_cpu_seconds_recorded(self, linger_small):
+        assert np.all(linger_small.cpu_seconds > 0)
+
+    def test_wall_time_recorded(self, linger_small):
+        assert linger_small.wall_seconds > 0

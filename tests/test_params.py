@@ -1,0 +1,112 @@
+"""Cosmological parameter sets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import CosmologyParams, ParameterError
+from repro.params import lambda_cdm, mixed_dark_matter, standard_cdm, tilted_cdm
+
+
+class TestValidation:
+    def test_negative_h_rejected(self):
+        with pytest.raises(ParameterError):
+            CosmologyParams(h=-0.5)
+
+    def test_zero_baryons_rejected(self):
+        with pytest.raises(ParameterError):
+            CosmologyParams(omega_b=0.0)
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ParameterError):
+            CosmologyParams(omega_c=-0.1)
+
+    def test_massive_nu_without_species_rejected(self):
+        with pytest.raises(ParameterError):
+            CosmologyParams(omega_nu=0.1, n_nu_massive=0)
+
+    def test_species_without_omega_nu_rejected(self):
+        with pytest.raises(ParameterError):
+            CosmologyParams(omega_nu=0.0, n_nu_massive=1)
+
+    def test_bad_helium_fraction_rejected(self):
+        with pytest.raises(ParameterError):
+            CosmologyParams(y_he=1.5)
+
+
+class TestStandardCDM:
+    def test_is_flat_omega_one(self):
+        p = standard_cdm()
+        assert p.omega_m == pytest.approx(1.0)
+        # radiation makes omega_k very slightly negative
+        assert abs(p.omega_k) < 1e-3
+
+    def test_paper_values(self):
+        p = standard_cdm()
+        assert p.h == 0.5
+        assert p.omega_b == 0.05
+        assert p.n_s == 1.0
+        assert p.t_cmb == pytest.approx(2.726)
+
+    def test_h0_in_mpc(self):
+        assert standard_cdm().h0_mpc == pytest.approx(0.5 / 2997.92458)
+
+    def test_omega_gamma(self):
+        # 2.47e-5 / h^2 with h = 0.5
+        assert standard_cdm().omega_gamma == pytest.approx(9.89e-5, rel=0.01)
+
+    def test_equality_epoch(self):
+        p = standard_cdm()
+        # a_eq = omega_r / omega_m ~ 1.7e-4 for this model
+        assert 1e-4 < p.a_equality < 3e-4
+
+
+class TestVariants:
+    def test_tilted(self):
+        assert tilted_cdm(0.8).n_s == 0.8
+
+    def test_lambda_cdm_flat(self):
+        p = lambda_cdm()
+        assert p.omega_lambda == 0.7
+        assert abs(p.omega_k) < 1e-3
+
+    def test_mdm_budget(self):
+        p = mixed_dark_matter(omega_nu=0.2)
+        assert p.omega_nu == 0.2
+        assert p.omega_m == pytest.approx(1.0)
+        assert p.n_nu_massive == 1
+
+    def test_mdm_neutrino_mass_scale(self):
+        # omega_nu h^2 = 0.05 corresponds to ~4.7 eV
+        p = mixed_dark_matter(omega_nu=0.2)
+        assert p.nu_mass_ev == pytest.approx(4.7, rel=0.05)
+
+    def test_massless_model_has_zero_mass(self):
+        assert standard_cdm().nu_mass_ev == 0.0
+        assert standard_cdm().nu_mass_over_t_nu == 0.0
+
+
+class TestDerived:
+    def test_with_override(self):
+        p = standard_cdm().with_(n_s=0.9)
+        assert p.n_s == 0.9
+        assert p.h == 0.5
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            standard_cdm().h = 0.7
+
+    def test_grhom_positive(self):
+        assert standard_cdm().grhom > 0
+
+    def test_hydrogen_density(self):
+        # n_H ~ 1e-7 cm^-3 for Omega_b h^2 = 0.0125
+        n = standard_cdm().n_hydrogen_cgs
+        assert 5e-8 < n < 5e-7
+
+    @given(h=st.floats(0.3, 1.0), ob=st.floats(0.01, 0.1))
+    def test_omega_total_closes(self, h, ob):
+        p = CosmologyParams(h=h, omega_b=ob, omega_c=1.0 - ob)
+        assert p.omega_total == pytest.approx(
+            p.omega_m + p.omega_r + p.omega_lambda
+        )
+        assert p.omega_k == pytest.approx(1.0 - p.omega_total)

@@ -1,0 +1,88 @@
+"""LINGER output records: the paper's wire formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.linger import HEADER_LENGTH, ModeHeader, ModePayload
+
+
+def make_header(**overrides) -> ModeHeader:
+    base = dict(
+        ik=3, k=0.05, tau_end=11838.0, a_end=1.0, delta_c=-100.0,
+        delta_b=-95.0, delta_g=-0.5, delta_nu=-0.4, delta_nu_massive=0.0,
+        theta_b=1.0, theta_g=1.1, theta_nu=0.9, eta=0.7, hdot=9.0,
+        etadot=1e-4, phi=0.4, psi=0.39, delta_m=-99.0, cpu_seconds=1.5,
+        n_rhs=12345.0, lmax=12,
+    )
+    base.update(overrides)
+    return ModeHeader(**base)
+
+
+class TestHeader:
+    def test_wire_length_is_21(self):
+        assert make_header().pack().shape == (HEADER_LENGTH,)
+
+    def test_round_trip(self):
+        h = make_header()
+        h2 = ModeHeader.unpack(h.pack())
+        assert h2 == h
+
+    def test_integer_fields_survive(self):
+        h2 = ModeHeader.unpack(make_header(ik=17, lmax=40).pack())
+        assert h2.ik == 17 and isinstance(h2.ik, int)
+        assert h2.lmax == 40 and isinstance(h2.lmax, int)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            ModeHeader.unpack(np.zeros(20))
+
+    @given(ik=st.integers(1, 5000), lmax=st.integers(3, 10000),
+           k=st.floats(1e-5, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, ik, lmax, k):
+        h = make_header(ik=ik, lmax=lmax, k=k)
+        h2 = ModeHeader.unpack(h.pack())
+        assert h2.ik == ik and h2.lmax == lmax
+        assert h2.k == pytest.approx(k)
+
+
+class TestPayload:
+    def make(self, lmax=12):
+        rng = np.random.default_rng(lmax)
+        return ModePayload(
+            ik=2, k=0.01, tau_end=11838.0, a_end=1.0, amplitude=1.0,
+            n_steps=2000.0, f_gamma=rng.normal(size=lmax + 1),
+            g_gamma=rng.normal(size=lmax + 1),
+        )
+
+    def test_wire_length_matches_paper(self):
+        # length = 2 lmax + 8, exactly as in the paper's tag-5 message
+        for lmax in (3, 12, 100):
+            p = self.make(lmax)
+            assert p.pack().size == 2 * lmax + 8 == p.wire_length
+
+    def test_round_trip(self):
+        p = self.make(20)
+        p2 = ModePayload.unpack(p.pack(), lmax=20)
+        assert np.allclose(p2.f_gamma, p.f_gamma)
+        assert np.allclose(p2.g_gamma, p.g_gamma)
+        assert p2.ik == p.ik
+
+    def test_wrong_lmax_rejected(self):
+        p = self.make(12)
+        with pytest.raises(ProtocolError):
+            ModePayload.unpack(p.pack(), lmax=13)
+
+    def test_mismatched_hierarchies_rejected(self):
+        with pytest.raises(ProtocolError):
+            ModePayload(ik=1, k=0.1, tau_end=1.0, a_end=1.0, amplitude=1.0,
+                        n_steps=1.0, f_gamma=np.zeros(5), g_gamma=np.zeros(6))
+
+    def test_message_bytes_growth(self):
+        """Message size grows with lmax: the Section 4 economics."""
+        small = self.make(8).pack().nbytes
+        big = self.make(5000).pack().nbytes
+        assert small < 250
+        assert 75_000 < big < 85_000

@@ -1,0 +1,191 @@
+"""Sky-map machinery: Legendre recurrences, transforms, flat sky, movie."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.skymap import (
+    AlmGrid,
+    FlatSkyPatch,
+    SphereGrid,
+    analyze,
+    cl_of_alm,
+    gaussian_alm,
+    legendre_lambda,
+    synthesize,
+    synthesize_flat,
+)
+
+
+class TestLegendre:
+    def test_monopole_constant(self):
+        x = np.linspace(-1, 1, 11)
+        lam = legendre_lambda(0, 0, x)
+        assert np.allclose(lam[0], 1 / math.sqrt(4 * math.pi))
+
+    def test_y10_analytic(self):
+        # lambda_10 = sqrt(3/4pi) x
+        x = np.linspace(-0.9, 0.9, 7)
+        lam = legendre_lambda(1, 0, x)
+        assert np.allclose(lam[1], math.sqrt(3 / (4 * math.pi)) * x)
+
+    def test_y11_analytic(self):
+        # lambda_11 = -sqrt(3/8pi) sin(theta)
+        x = np.array([0.0, 0.5])
+        lam = legendre_lambda(1, 1, x)
+        expected = -math.sqrt(3 / (8 * math.pi)) * np.sqrt(1 - x**2)
+        assert np.allclose(lam[0], expected)
+
+    def test_orthonormality(self):
+        """integral lambda_lm lambda_l'm dOmega_theta-part = delta_ll'
+        (2 pi from phi already divided out: use GL quadrature and the
+        normalization with the 2 pi phi factor)."""
+        lmax, m = 12, 3
+        x, w = np.polynomial.legendre.leggauss(64)
+        lam = legendre_lambda(lmax, m, x)
+        gram = 2 * math.pi * (lam * w) @ lam.T
+        assert np.allclose(gram, np.eye(lmax - m + 1), atol=1e-10)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ParameterError):
+            legendre_lambda(5, 6, np.array([0.0]))
+
+    @given(l=st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_m0_matches_legendre_polynomial(self, l):
+        x = np.linspace(-0.95, 0.95, 9)
+        lam = legendre_lambda(l, 0, x)[l]
+        p = np.polynomial.legendre.Legendre.basis(l)(x)
+        norm = math.sqrt((2 * l + 1) / (4 * math.pi))
+        assert np.allclose(lam, norm * p, atol=1e-10)
+
+
+class TestSphereTransforms:
+    def test_round_trip(self):
+        rng = np.random.default_rng(7)
+        lmax = 24
+        cl = 1.0 / (np.arange(lmax + 1) + 1.0) ** 2
+        alm = gaussian_alm(cl, lmax, rng)
+        grid = SphereGrid.for_lmax(lmax, oversample=1.2)
+        alm2 = analyze(synthesize(alm, grid), grid, lmax)
+        assert np.allclose(alm2.values, alm.values, atol=1e-12)
+
+    def test_monopole_map(self):
+        lmax = 4
+        alm = AlmGrid.zeros(lmax)
+        alm.values[0, 0] = math.sqrt(4 * math.pi)  # Y00 = 1/sqrt(4pi)
+        grid = SphereGrid.for_lmax(lmax)
+        m = synthesize(alm, grid)
+        assert np.allclose(m, 1.0)
+
+    def test_map_variance_matches_spectrum(self):
+        rng = np.random.default_rng(11)
+        lmax = 16
+        cl = np.ones(lmax + 1) * 1e-4
+        cl[0] = cl[1] = 0.0
+        alm = gaussian_alm(cl, lmax, rng)
+        grid = SphereGrid.for_lmax(lmax, oversample=1.5)
+        m = synthesize(alm, grid)
+        var_map = float(np.sum(grid.solid_angle_weights * m**2) / (4 * np.pi))
+        l = np.arange(lmax + 1)
+        var_alm = float(np.sum((2 * l + 1) * cl_of_alm(alm)) / (4 * np.pi))
+        assert var_map == pytest.approx(var_alm, rel=1e-10)
+
+    def test_cl_estimator_unbiased(self):
+        rng = np.random.default_rng(3)
+        lmax = 30
+        cl = np.ones(lmax + 1)
+        estimates = np.mean(
+            [cl_of_alm(gaussian_alm(cl, lmax, rng)) for _ in range(40)],
+            axis=0,
+        )
+        # cosmic variance ~ sqrt(2/(2l+1)N): generous tolerance
+        assert np.allclose(estimates[5:], 1.0, atol=0.3)
+
+    def test_nlon_too_small_rejected(self):
+        alm = AlmGrid.zeros(10)
+        grid = SphereGrid(nlat=12, nlon=8,
+                          x=np.polynomial.legendre.leggauss(12)[0],
+                          w=np.polynomial.legendre.leggauss(12)[1],
+                          phi=2 * np.pi * np.arange(8) / 8)
+        with pytest.raises(ParameterError):
+            synthesize(alm, grid)
+
+    def test_negative_cl_rejected(self):
+        with pytest.raises(ParameterError):
+            gaussian_alm(np.array([1.0, -1.0]), 1)
+
+    def test_alm_negative_m_reality(self):
+        alm = AlmGrid.zeros(3)
+        alm.values[2, 1] = 1.0 + 2.0j
+        assert alm[2, -1] == (-1) * np.conj(1.0 + 2.0j)
+
+
+class TestFlatSky:
+    def test_variance_matches_band(self):
+        # the band must sit inside the patch's resolved l range:
+        # fundamental 2 pi/side ~ 18 to Nyquist pi npix/side ~ 2300
+        rng = np.random.default_rng(5)
+        l = np.arange(30, 1000)
+        cl = np.full(l.size, 1e-10)
+        p = synthesize_flat(l, cl, side_deg=20, npix=256, rng=rng)
+        target = float(np.sum((2 * l + 1.0) * cl) / (4 * np.pi))
+        assert p.values.var() == pytest.approx(target, rel=0.2)
+
+    def test_zero_spectrum_zero_map(self):
+        l = np.arange(2, 100)
+        p = synthesize_flat(l, np.zeros(l.size), npix=64)
+        assert np.allclose(p.values, 0.0)
+
+    def test_pixel_size(self):
+        p = FlatSkyPatch(side_deg=16.0, npix=32, values=np.zeros((32, 32)))
+        assert p.pixel_deg == 0.5
+
+    def test_reproducible_with_seed(self):
+        l = np.arange(2, 500)
+        cl = 1e-10 / (l / 100.0) ** 2
+        p1 = synthesize_flat(l, cl, rng=np.random.default_rng(1), npix=64)
+        p2 = synthesize_flat(l, cl, rng=np.random.default_rng(1), npix=64)
+        assert np.array_equal(p1.values, p2.values)
+
+    def test_bad_l_rejected(self):
+        with pytest.raises(ParameterError):
+            synthesize_flat(np.array([5.0, 3.0]), np.ones(2))
+
+
+class TestPotentialMovie:
+    def test_frames_fixed_phase(self, mode_k005, mode_k05, bg_scdm,
+                                thermo_scdm):
+        from repro.perturbations import default_record_grid, evolve_mode
+        from repro.skymap import PotentialMovie
+
+        k_mid = 0.015
+        grid = default_record_grid(bg_scdm, thermo_scdm, k_mid)
+        mode_mid = evolve_mode(bg_scdm, thermo_scdm, k_mid,
+                               record_tau=grid, rtol=1e-4)
+        movie = PotentialMovie([mode_k005, mode_mid, mode_k05],
+                               box_mpc=100.0, npix=32)
+        lo, hi = movie.tau_range
+        taus = np.linspace(max(lo, 20.0), 250.0, 5)
+        frames = movie.frames(taus)
+        assert frames.shape == (5, 32, 32)
+        # same phases: frames are strongly correlated in space
+        c = np.corrcoef(frames[0].ravel(), frames[1].ravel())[0, 1]
+        assert abs(c) > 0.5
+
+    def test_needs_three_modes(self, mode_k005):
+        from repro.skymap import PotentialMovie
+
+        with pytest.raises(ParameterError):
+            PotentialMovie([mode_k005])
+
+    def test_tau_outside_range_rejected(self, mode_k005, mode_k05,
+                                        mode_mdm):
+        from repro.skymap import PotentialMovie
+
+        movie = PotentialMovie([mode_k005, mode_k05, mode_mdm], npix=16)
+        with pytest.raises(ParameterError):
+            movie.frame(1e9)

@@ -1,0 +1,174 @@
+"""Spectra: C_l (two routes), normalization, matter power."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.spectra import (
+    BesselCache,
+    SourceTable,
+    band_power_uk,
+    cl_from_hierarchy,
+    cl_from_los,
+    cl_integrate_over_k,
+    cobe_normalization,
+    matter_power,
+    qrms_ps_from_cl,
+    sigma_r,
+    transfer_function,
+)
+
+
+class TestKQuadrature:
+    def test_flat_transfer_analytic(self):
+        # Theta_l(k) = 1, n_s = 1: C_l = 4 pi ln(kmax/kmin)
+        k = np.geomspace(0.01, 0.1, 200)
+        cl = cl_integrate_over_k(k, np.ones_like(k))
+        assert cl == pytest.approx(4 * np.pi * np.log(10.0), rel=1e-4)
+
+    def test_tilt_changes_weighting(self):
+        k = np.geomspace(0.01, 0.1, 100)
+        th = np.ones_like(k)
+        blue = cl_integrate_over_k(k, th, n_s=1.2, k_pivot=0.01)
+        red = cl_integrate_over_k(k, th, n_s=0.8, k_pivot=0.01)
+        assert blue > red
+
+    def test_matrix_form(self):
+        k = np.geomspace(0.01, 0.1, 50)
+        th = np.stack([np.ones_like(k), 2 * np.ones_like(k)], axis=1)
+        cl = cl_integrate_over_k(k, th)
+        assert cl.shape == (2,)
+        assert cl[1] == pytest.approx(4 * cl[0])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ParameterError):
+            cl_integrate_over_k(np.array([0.1]), np.array([1.0]))
+
+
+class TestHierarchyCl:
+    def test_positive_spectrum(self, linger_small):
+        l, cl = cl_from_hierarchy(linger_small)
+        assert np.all(cl > 0)
+        assert l[0] == 2
+
+    def test_truncation_margin_enforced(self, linger_small):
+        lmax = linger_small.config.lmax_photon
+        with pytest.raises(ParameterError):
+            cl_from_hierarchy(linger_small, l_values=np.array([lmax]))
+
+    def test_requested_l_subset(self, linger_small):
+        l, cl = cl_from_hierarchy(linger_small, l_values=np.array([2, 5, 9]))
+        assert list(l) == [2, 5, 9]
+        assert cl.shape == (3,)
+
+
+class TestLosAgainstHierarchy:
+    def test_consistency_low_l(self, linger_small):
+        """The paper's direct method and the line-of-sight projection
+        must agree; this is the strongest internal check of the whole
+        Boltzmann pipeline (sources, gauge terms, visibility)."""
+        l = np.arange(2, 16)
+        _, cl_h = cl_from_hierarchy(linger_small, l_values=l)
+        _, cl_s = cl_from_los(linger_small, l)
+        ratio = cl_s / cl_h
+        assert np.all(np.abs(ratio - 1.0) < 0.05)
+
+    def test_source_table_shape(self, linger_small, mode_k05):
+        tau0 = linger_small.background.tau0
+        src = SourceTable.from_mode(mode_k05, linger_small.thermo, tau0)
+        assert src.tau.shape == src.source.shape
+        t, s = src.dense()
+        assert t[0] == pytest.approx(src.tau[0])
+        assert t[-1] == pytest.approx(tau0)
+
+    def test_source_localized_at_recombination(self, linger_small,
+                                               mode_k05):
+        """|S| peaks near the visibility peak; the late-time ISW tail is
+        comparatively small for standard CDM."""
+        thermo = linger_small.thermo
+        src = SourceTable.from_mode(mode_k05, thermo,
+                                    linger_small.background.tau0)
+        peak_region = np.abs(src.tau - thermo.tau_rec) < 150
+        peak = np.max(np.abs(src.source[peak_region]))
+        late = np.max(np.abs(src.source[src.tau > 2000]))
+        assert late < 0.2 * peak
+
+
+class TestBesselCache:
+    def test_matches_scipy(self):
+        from scipy.special import spherical_jn
+
+        cache = BesselCache(x_max=50.0, dx=0.05)
+        x = np.linspace(0.0, 49.0, 500)
+        for l in (2, 10, 31):
+            approx = cache.eval(l, x)
+            exact = spherical_jn(l, x)
+            assert np.max(np.abs(approx - exact)) < 2e-4
+
+    def test_tables_cached(self):
+        cache = BesselCache(10.0)
+        t1 = cache.table(5)
+        t2 = cache.table(5)
+        assert t1 is t2
+
+
+class TestNormalization:
+    def test_cobe_fixes_quadrupole(self):
+        l = np.arange(2, 20)
+        cl = 1.0 / (l * (l + 1.0))
+        f = cobe_normalization(l, cl, q_rms_ps_uk=18.0, t_cmb_k=2.726)
+        c2 = cl[0] * f
+        q = 2.726e6 * np.sqrt(5 * c2 / (4 * np.pi))
+        assert q == pytest.approx(18.0, rel=1e-10)
+
+    def test_qrms_round_trip(self):
+        l = np.arange(2, 30)
+        cl = 1.0 / (l * (l + 1.0))
+        f = cobe_normalization(l, cl, 20.0)
+        assert qrms_ps_from_cl(l, cl * f) == pytest.approx(20.0, rel=1e-10)
+
+    def test_band_power_flat_spectrum(self):
+        # l(l+1)C_l = const -> flat band power
+        l = np.arange(2, 100)
+        cl = 1.0 / (l * (l + 1.0))
+        bp = band_power_uk(l, cl)
+        assert np.allclose(bp, bp[0], rtol=1e-12)
+
+    def test_missing_quadrupole_rejected(self):
+        with pytest.raises(ParameterError):
+            cobe_normalization(np.arange(5, 10), np.ones(5))
+
+    def test_scdm_band_power_level(self, linger_small):
+        """COBE-normalized standard CDM sits near ~28 uK at low l
+        (the Sachs-Wolfe plateau, Q = 18 uK)."""
+        l, cl = cl_from_hierarchy(linger_small, l_values=np.arange(2, 10))
+        cl = cl * cobe_normalization(l, cl)
+        bp = band_power_uk(l, cl)
+        assert 20 < bp[0] < 40
+
+
+class TestMatterPower:
+    def test_large_scale_slope(self, linger_small):
+        """P(k) ~ k^(n_s) on super-horizon scales."""
+        k = linger_small.k[:4]
+        pk = matter_power(k, linger_small.delta_m[:4],
+                          n_s=linger_small.params.n_s)
+        slope = np.polyfit(np.log(k), np.log(pk), 1)[0]
+        assert slope == pytest.approx(1.0, abs=0.1)
+
+    def test_transfer_function_normalized(self, linger_small):
+        t = transfer_function(linger_small.k, linger_small.delta_m)
+        assert t[0] == pytest.approx(1.0)
+        assert np.all(t > 0)
+
+    def test_transfer_suppressed_small_scales(self, linger_small):
+        t = transfer_function(linger_small.k, linger_small.delta_m)
+        assert t[-1] < t[0]
+
+    def test_sigma_r_positive(self, linger_small):
+        pk = matter_power(linger_small.k, linger_small.delta_m)
+        assert sigma_r(linger_small.k, pk, 16.0) > 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            matter_power(np.ones(3), np.ones(4))

@@ -1,0 +1,63 @@
+"""State-vector layout bookkeeping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perturbations import StateLayout
+
+
+class TestLayout:
+    def test_blocks_contiguous(self):
+        lo = StateLayout(lmax_photon=12, lmax_nu=10, nq=4, lmax_massive_nu=6)
+        assert lo.i_fg == 6
+        assert lo.i_gg == lo.i_fg + 13
+        assert lo.i_nl == lo.i_gg + 13
+        assert lo.i_psi == lo.i_nl + 11
+        assert lo.n_state == lo.i_psi + 4 * 7
+
+    def test_no_massive_sector(self):
+        lo = StateLayout(lmax_photon=8, lmax_nu=8)
+        assert lo.n_state == 6 + 9 + 9 + 9
+        assert lo.psi_matrix(lo.zeros()).size == 0
+
+    def test_slices_cover_exactly(self):
+        lo = StateLayout(lmax_photon=5, lmax_nu=7, nq=3, lmax_massive_nu=4)
+        y = lo.zeros()
+        y[lo.sl_fg] = 1
+        y[lo.sl_gg] = 2
+        y[lo.sl_nl] = 3
+        y[lo.sl_psi] = 4
+        # scalars untouched, every hierarchy slot covered exactly once
+        assert np.all(y[:6] == 0)
+        assert np.count_nonzero(y) == lo.n_state - 6
+
+    def test_psi_matrix_is_view(self):
+        lo = StateLayout(lmax_photon=4, lmax_nu=4, nq=2, lmax_massive_nu=3)
+        y = lo.zeros()
+        lo.psi_matrix(y)[1, 2] = 7.0
+        assert y[lo.i_psi + 1 * 4 + 2] == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StateLayout(lmax_photon=2, lmax_nu=5)
+        with pytest.raises(ValueError):
+            StateLayout(lmax_photon=5, lmax_nu=2)
+        with pytest.raises(ValueError):
+            StateLayout(lmax_photon=5, lmax_nu=5, nq=2, lmax_massive_nu=1)
+        with pytest.raises(ValueError):
+            StateLayout(lmax_photon=5, lmax_nu=5, nq=-1)
+
+    @given(
+        lg=st.integers(3, 40),
+        ln=st.integers(3, 40),
+        nq=st.integers(0, 10),
+        lm=st.integers(2, 12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_size_formula(self, lg, ln, nq, lm):
+        lo = StateLayout(lmax_photon=lg, lmax_nu=ln, nq=nq,
+                         lmax_massive_nu=lm if nq else 0)
+        expected = 6 + 2 * (lg + 1) + (ln + 1) + nq * ((lm if nq else 0) + 1)
+        assert lo.n_state == expected
+        assert lo.zeros().shape == (expected,)

@@ -1,0 +1,92 @@
+"""Tensor (gravitational-wave) modes and their CMB spectrum."""
+
+import numpy as np
+import pytest
+from scipy.special import spherical_jn
+
+from repro.errors import ParameterError
+from repro.perturbations.tensors import (
+    cl_tensor,
+    evolve_tensor_mode,
+    tensor_theta_l,
+)
+
+
+class TestTensorEvolution:
+    def test_frozen_outside_horizon(self, bg_scdm):
+        m = evolve_tensor_mode(bg_scdm, 1e-4, tau_end=500.0)
+        assert np.max(np.abs(m.h - 1.0)) < 1e-3
+
+    def test_radiation_era_analytic(self, bg_scdm):
+        """h(tau) = j0(k tau) exactly in the radiation era."""
+        k = 0.5
+        m = evolve_tensor_mode(bg_scdm, k, tau_end=100.0)
+        sel = m.tau < 80.0
+        err = np.max(np.abs(m.h[sel] - spherical_jn(0, k * m.tau[sel])))
+        assert err < 0.01
+
+    def test_amplitude_decays_inside_horizon(self, bg_scdm):
+        m = evolve_tensor_mode(bg_scdm, 0.1, tau_end=2000.0)
+        late = np.abs(m.h[m.tau > 1500.0])
+        assert np.max(late) < 0.05
+
+    def test_linear_in_amplitude(self, bg_scdm):
+        m1 = evolve_tensor_mode(bg_scdm, 0.05, tau_end=1000.0,
+                                amplitude=1.0)
+        m2 = evolve_tensor_mode(bg_scdm, 0.05, tau_end=1000.0,
+                                amplitude=2.0)
+        assert np.allclose(m2.h, 2.0 * m1.h, atol=1e-8)
+
+    def test_oscillation_frequency(self, bg_scdm):
+        """Inside the horizon h oscillates with frequency k: count the
+        zero crossings."""
+        k = 0.2
+        m = evolve_tensor_mode(bg_scdm, k, tau_end=400.0, n_record=1200)
+        crossings = np.count_nonzero(np.diff(np.sign(m.h)) != 0)
+        expected = k * (400.0 - m.tau[0]) / np.pi
+        assert crossings == pytest.approx(expected, abs=2)
+
+    def test_negative_k_rejected(self, bg_scdm):
+        with pytest.raises(ParameterError):
+            evolve_tensor_mode(bg_scdm, -0.1)
+
+
+class TestTensorSpectrum:
+    @pytest.fixture(scope="class")
+    def tensor_cl(self, bg_scdm, thermo_scdm):
+        l = np.array([2, 5, 10, 30, 60, 150, 300])
+        return cl_tensor(bg_scdm, thermo_scdm, l)
+
+    def test_positive(self, tensor_cl):
+        l, cl = tensor_cl
+        assert np.all(cl > 0)
+
+    def test_plateau_then_collapse(self, tensor_cl):
+        """l(l+1)C_l^T is order-unity flat at low l and collapses above
+        l ~ 100 (waves that entered before recombination have decayed)."""
+        l, cl = tensor_cl
+        llcl = l * (l + 1.0) * cl
+        ratio = llcl / llcl[0]
+        assert ratio[l == 60][0] > 0.15  # still on the plateau shoulder
+        assert ratio[l == 300][0] < 0.02  # collapsed
+
+    def test_l_below_two_rejected(self, bg_scdm, thermo_scdm):
+        with pytest.raises(ParameterError):
+            cl_tensor(bg_scdm, thermo_scdm, np.array([1, 2]),
+                      k=np.array([0.001, 0.002]))
+
+    def test_blue_tilt_boosts_small_scales(self, bg_scdm, thermo_scdm):
+        k = np.linspace(3e-4, 6e-3, 12)
+        l = np.array([2, 40])
+        _, cl_flat = cl_tensor(bg_scdm, thermo_scdm, l, k=k, n_t=0.0)
+        _, cl_blue = cl_tensor(bg_scdm, thermo_scdm, l, k=k, n_t=0.5)
+        assert (cl_blue[1] / cl_blue[0]) > (cl_flat[1] / cl_flat[0])
+
+
+class TestThetaL:
+    def test_shape(self, bg_scdm, thermo_scdm):
+        modes = [evolve_tensor_mode(bg_scdm, k) for k in (0.001, 0.003)]
+        th = tensor_theta_l(modes, thermo_scdm, bg_scdm.tau0,
+                            np.array([2, 3, 4]))
+        assert th.shape == (2, 3)
+        assert np.all(np.isfinite(th))

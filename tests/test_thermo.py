@@ -1,0 +1,132 @@
+"""Recombination and the thermal history."""
+
+import numpy as np
+import pytest
+
+from repro import constants as const
+from repro.thermo import PeeblesRates, saha_electron_fraction
+
+
+class TestSaha:
+    def test_fully_ionized_hot(self, scdm):
+        x_e, x_h, x_he2, x_he3 = saha_electron_fraction(
+            1e5, 1e-4, f_he=0.02
+        )
+        assert x_h == pytest.approx(1.0, abs=1e-6)
+        assert x_he3 == pytest.approx(1.0, abs=1e-4)
+        assert x_e == pytest.approx(1.0 + 2 * 0.02, rel=1e-4)
+
+    def test_neutral_cold(self):
+        x_e, x_h, x_he2, x_he3 = saha_electron_fraction(1500.0, 1.0, 0.02)
+        assert x_h < 1e-4
+        assert x_e < 1e-3
+
+    def test_helium_recombines_before_hydrogen(self):
+        # at ~5000 K He+ -> He0 is essentially done but H is still ionized
+        x_e, x_h, x_he2, x_he3 = saha_electron_fraction(5000.0, 0.2, 0.02)
+        assert x_h > 0.95
+        assert x_he2 < 0.05
+
+    def test_he_double_ionized_very_hot(self):
+        _, _, x_he2, x_he3 = saha_electron_fraction(5e4, 1e-2, 0.02)
+        assert x_he3 > 0.9
+
+    def test_monotone_in_temperature(self):
+        xs = [
+            saha_electron_fraction(t, 0.5, 0.02)[0]
+            for t in (3000, 4000, 6000, 10000)
+        ]
+        assert all(a < b for a, b in zip(xs, xs[1:]))
+
+
+class TestPeeblesRates:
+    def test_recombination_coefficient_scale(self):
+        # alpha^(2) ~ 5e-13 cm^3/s at 10^4 K (Peebles form)
+        r = PeeblesRates.at(1e4, 1.0, 0.5, 1e-13)
+        assert 1e-13 < r.alpha2 < 1e-12
+
+    def test_c_factor_bounded(self):
+        r = PeeblesRates.at(3500.0, 100.0, 0.1, 1e-13)
+        assert 0.0 < r.c_peebles <= 1.0
+
+    def test_ionization_negligible_when_cold(self):
+        r = PeeblesRates.at(500.0, 100.0, 0.01, 1e-13)
+        assert r.beta < 1e-100
+
+    def test_beta2_larger_than_beta(self):
+        r = PeeblesRates.at(4000.0, 100.0, 0.5, 1e-13)
+        assert r.beta2 > r.beta
+
+
+class TestThermalHistory:
+    def test_recombination_redshift(self, thermo_scdm):
+        assert 1000 < thermo_scdm.z_rec < 1250
+
+    def test_tau_rec_matches_paper_movie(self, thermo_scdm):
+        # the paper's movie ends "shortly after recombination, at
+        # conformal time 250 Mpc"
+        assert 200 < thermo_scdm.tau_rec < 280
+
+    def test_xe_fully_ionized_early(self, thermo_scdm, scdm):
+        f_he = scdm.y_he / (4 * (1 - scdm.y_he))
+        assert float(thermo_scdm.x_e(1e-7)) == pytest.approx(
+            1 + 2 * f_he, rel=1e-3
+        )
+
+    def test_xe_freezeout(self, thermo_scdm):
+        xe0 = float(thermo_scdm.x_e(1.0))
+        assert 1e-5 < xe0 < 1e-2
+
+    def test_xe_monotone_through_recombination(self, thermo_scdm):
+        a = np.geomspace(2e-4, 2e-2, 60)
+        xe = thermo_scdm.x_e(a)
+        assert np.all(np.diff(xe) < 1e-6)
+
+    def test_visibility_normalized(self, thermo_scdm, bg_scdm):
+        tau = np.linspace(thermo_scdm._tau[0], bg_scdm.tau0, 20000)
+        integral = np.trapezoid(thermo_scdm.visibility(tau), tau)
+        assert integral == pytest.approx(1.0, abs=0.002)
+
+    def test_visibility_peaks_at_tau_rec(self, thermo_scdm, bg_scdm):
+        tau = np.linspace(50, 600, 4000)
+        g = thermo_scdm.visibility(tau)
+        assert tau[np.argmax(g)] == pytest.approx(thermo_scdm.tau_rec,
+                                                  abs=5.0)
+
+    def test_optical_depth_monotone_decreasing(self, thermo_scdm, bg_scdm):
+        tau = np.linspace(100, bg_scdm.tau0, 500)
+        kappa = thermo_scdm.optical_depth(tau)
+        assert np.all(np.diff(kappa) <= 1e-10)
+        assert abs(float(kappa[-1])) < 1e-8
+
+    def test_baryons_track_photons_early(self, thermo_scdm, scdm):
+        a = 1e-5
+        assert float(thermo_scdm.t_baryon(a)) == pytest.approx(
+            scdm.t_cmb / a, rel=1e-4
+        )
+
+    def test_baryons_cool_adiabatically_late(self, thermo_scdm, scdm):
+        # after decoupling T_b ~ a^-2, so T_b << T_gamma today
+        assert float(thermo_scdm.t_baryon(1.0)) < 0.1 * scdm.t_cmb
+
+    def test_opacity_scaling_preionization(self, thermo_scdm):
+        # x_e = const -> kappa' ~ a^-2
+        k1 = float(thermo_scdm.opacity(1e-5))
+        k2 = float(thermo_scdm.opacity(2e-5))
+        assert k1 / k2 == pytest.approx(4.0, rel=1e-2)
+
+    def test_sound_speed_small_and_positive(self, thermo_scdm):
+        a = np.geomspace(1e-6, 1.0, 30)
+        cs2 = thermo_scdm.cs2(a)
+        assert np.all(cs2 > 0)
+        assert np.all(cs2 < 1e-6)  # baryon sound speed << c
+
+    def test_exp_minus_kappa_limits(self, thermo_scdm, bg_scdm):
+        assert float(thermo_scdm.exp_minus_kappa(60.0)) < 1e-8
+        assert float(thermo_scdm.exp_minus_kappa(bg_scdm.tau0)) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_mdm_recombination_similar(self, thermo_mdm):
+        # massive neutrinos barely move recombination
+        assert 1000 < thermo_mdm.z_rec < 1250

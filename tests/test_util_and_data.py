@@ -1,0 +1,133 @@
+"""Utilities (ascii plots, tables, timing, images) and the data module."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    COBE_QRMS_PS_UK,
+    COMPILATION_1995,
+    bandpowers_as_arrays,
+)
+from repro.skymap import diverging_rgb, write_pgm, write_ppm
+from repro.util import Stopwatch, ascii_histogram, ascii_plot, format_table
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_axis(self):
+        out = ascii_plot([1, 2, 3], [1, 4, 9], width=40, height=10)
+        assert "*" in out
+        assert "+" in out
+
+    def test_log_axes(self):
+        out = ascii_plot(np.geomspace(1, 1e4, 20),
+                         np.geomspace(1, 100, 20), logx=True, logy=True)
+        assert "*" in out
+
+    def test_overlay_marker(self):
+        out = ascii_plot([1, 2, 3], [1, 2, 3],
+                         overlay=([1.5], [2.5]), overlay_marker="o")
+        assert "o" in out
+
+    def test_empty_data_safe(self):
+        out = ascii_plot([np.nan], [np.nan])
+        assert "no finite data" in out
+
+    def test_histogram(self):
+        out = ascii_histogram(np.random.default_rng(0).normal(size=500),
+                              bins=10)
+        assert out.count("\n") >= 10
+
+
+class TestFormatTable:
+    def test_alignment_and_values(self):
+        out = format_table(["name", "value"], [["x", 1.5], ["yy", 2.25]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.5" in out and "2.25" in out
+
+    def test_title(self):
+        out = format_table(["a"], [[1.0]], title="My Table")
+        assert out.startswith("My Table")
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            sum(range(10000))
+        w1 = sw.wall
+        with sw:
+            sum(range(10000))
+        assert sw.wall > w1 >= 0.0
+        assert sw.cpu >= 0.0
+
+    def test_stop_before_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestImages(object):
+    def test_pgm_format(self, tmp_path):
+        path = write_pgm(tmp_path / "t.pgm", np.random.rand(8, 10))
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n10 8\n255\n")
+        assert len(data) == len(b"P5\n10 8\n255\n") + 80
+
+    def test_ppm_format(self, tmp_path):
+        path = write_ppm(tmp_path / "t.ppm", np.random.randn(6, 5))
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n5 6\n255\n")
+        assert len(data) == len(b"P6\n5 6\n255\n") + 90
+
+    def test_diverging_map_endpoints(self):
+        rgb = diverging_rgb(np.array([[0.0, 0.5, 1.0]]))
+        blue, white, red = rgb[0]
+        assert blue[2] == 255 and blue[0] == 0  # blue end
+        assert tuple(white) == (255, 255, 255)  # centre
+        assert red[0] == 255 and red[2] == 0  # red end
+
+    def test_constant_field_safe(self, tmp_path):
+        write_pgm(tmp_path / "c.pgm", np.zeros((4, 4)))
+
+    def test_non_2d_rejected(self, tmp_path):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            write_pgm(tmp_path / "bad.pgm", np.zeros(5))
+
+
+class TestCompilation1995:
+    def test_cobe_points_lowest_l(self):
+        l_effs = [b.l_eff for b in COMPILATION_1995]
+        cobe = [b for b in COMPILATION_1995 if "COBE" in b.experiment]
+        assert len(cobe) == 2
+        assert min(l_effs) == min(b.l_eff for b in cobe)
+
+    def test_band_powers_physical(self):
+        for b in COMPILATION_1995:
+            assert 10 < b.delta_t_uk < 100
+            assert b.l_lo < b.l_eff < b.l_hi
+            assert b.err_plus_uk > 0
+
+    def test_upper_limits_flagged(self):
+        uls = [b for b in COMPILATION_1995 if b.is_upper_limit]
+        assert len(uls) >= 1
+        assert any("OVRO" in b.experiment for b in uls)
+
+    def test_arrays_exclude_upper_limits(self):
+        full = bandpowers_as_arrays()
+        detections = bandpowers_as_arrays(include_upper_limits=False)
+        assert detections["l_eff"].size < full["l_eff"].size
+
+    def test_degree_scale_excess_over_cobe(self):
+        """The 1995 data already showed more power at degree scales
+        than at COBE scales (the first-peak rise Fig. 2 tests)."""
+        arr = bandpowers_as_arrays(include_upper_limits=False)
+        cobe_level = np.mean(arr["delta_t_uk"][arr["l_eff"] < 15])
+        degree_level = np.mean(
+            arr["delta_t_uk"][(arr["l_eff"] > 50) & (arr["l_eff"] < 250)]
+        )
+        assert degree_level > cobe_level
+
+    def test_cobe_normalization_value(self):
+        assert COBE_QRMS_PS_UK == pytest.approx(18.0)
