@@ -8,10 +8,12 @@ throughput so the substitution is quantified.
 """
 
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import KGrid, LingerConfig, Telemetry, standard_cdm
 from repro.cluster import (
     CRAY_C90,
     CRAY_T3D,
@@ -20,8 +22,12 @@ from repro.cluster import (
     paper_cost_model,
     simulate_schedule,
 )
+from repro.linger import run_linger
 from repro.perturbations import evolve_mode
 from repro.util import format_table
+
+#: Benchmark artifacts land in the repo root, next to this harness.
+ARTIFACT_DIR = Path(__file__).resolve().parents[1]
 
 #: (machine, nodes, paper's sustained Gflop for the production run)
 PAPER_ROWS = [
@@ -91,3 +97,47 @@ def test_python_throughput(bg, thermo, benchmark, capsys):
               f"{mode.stats.n_rhs} RHS evaluations, "
               f"{mode.stats.n_rhs / max(cpu, 1e-9):,.0f} RHS/s")
     assert mode.stats.n_rhs > 0
+
+
+def test_telemetered_flop_accounting(bg, thermo, benchmark, capsys):
+    """A telemetered serial run: per-mode RHS evaluations, accept/reject
+    counts and estimated flops as measured by the integrator itself,
+    archived as ``BENCH_flops.json``."""
+    params = standard_cdm()
+    kgrid = KGrid.from_k(np.geomspace(1e-3, 0.02, 5))
+    config = LingerConfig(record_sources=False, keep_mode_results=False,
+                          lmax_photon=8, lmax_nu=8, rtol=3e-4)
+    telemetry = Telemetry()
+    benchmark.pedantic(
+        lambda: run_linger(params, kgrid, config, background=bg,
+                           thermo=thermo, telemetry=telemetry),
+        rounds=1, iterations=1,
+    )
+    report = telemetry.build_report(meta={"table": "TAB-FLOPS"})
+    out = report.save(ARTIFACT_DIR / "BENCH_flops.json")
+
+    modes = sorted(report.modes, key=lambda m: m.k)
+    rows = [[m.k, m.n_rhs, m.n_steps, m.n_rejected, float(m.flops_est),
+             m.flops_est / max(m.wall_seconds, 1e-9) / 1e6]
+            for m in modes]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["k", "RHS evals", "accepted", "rejected", "flops (est)",
+             "Mflop/s (est)"],
+            rows,
+            title=f"TAB-FLOPS: measured integrator cost -> {out.name}",
+            float_fmt="{:.4g}",
+        ))
+
+    totals = report.totals
+    assert totals["n_modes"] == kgrid.nk
+    assert totals["flops_est"] == sum(m.flops_est for m in modes) > 0
+    assert totals["n_rhs"] == sum(m.n_rhs for m in modes)
+    # per-mode cost rises with k (the premise of largest-k-first)
+    assert modes[-1].n_rhs > modes[0].n_rhs
+    assert modes[-1].flops_est > modes[0].flops_est
+    # every mode records a full accept/reject breakdown
+    for m in modes:
+        assert m.n_steps > 0 and m.n_rhs >= 8 * m.n_steps
+        assert m.tau_switch > 0.0

@@ -17,6 +17,8 @@ The package implements the full LINGER/PLINGER system in Python:
   COBE normalization
 * :mod:`repro.skymap`        — Fig. 3 sky maps and the psi movie
 * :mod:`repro.data`          — the 1995 bandpower compilation
+* :mod:`repro.telemetry`     — run metrics: integrator cost, message
+  accounting, worker utilization, JSON :class:`RunReport`
 
 Quickstart::
 
@@ -43,6 +45,7 @@ from .thermo import ThermalHistory
 from .linger import KGrid, LingerConfig, LingerResult, cl_kgrid, matter_kgrid, run_linger
 from .plinger import run_plinger
 from .perturbations import ModeResult, evolve_mode
+from .telemetry import NULL_TELEMETRY, RunReport, Telemetry
 from .errors import (
     IntegrationError,
     MessagePassingError,
@@ -71,6 +74,9 @@ __all__ = [
     "run_plinger",
     "ModeResult",
     "evolve_mode",
+    "Telemetry",
+    "RunReport",
+    "NULL_TELEMETRY",
     "ReproError",
     "ParameterError",
     "IntegrationError",

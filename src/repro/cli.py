@@ -16,9 +16,11 @@ import sys
 import numpy as np
 
 from . import (
+    NULL_TELEMETRY,
     Background,
     KGrid,
     LingerConfig,
+    Telemetry,
     ThermalHistory,
     lambda_cdm,
     mixed_dark_matter,
@@ -62,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--rtol", type=float, default=1e-4)
     p_run.add_argument("--parallel", type=int, default=0, metavar="NPROC",
                        help="run PLINGER with this many ranks (0 = serial)")
+    p_run.add_argument("--backend", choices=["inprocess", "procs"],
+                       default="procs",
+                       help="PLINGER transport (with --parallel)")
+    p_run.add_argument("--report", metavar="PATH", default=None,
+                       help="enable run telemetry and write the JSON "
+                            "RunReport here")
     p_run.add_argument("--output", required=True, help="archive (.npz)")
 
     p_spec = sub.add_parser("spectrum", help="C_l from an archive")
@@ -113,18 +121,52 @@ def cmd_run(args) -> int:
         record_sources=False,
         keep_mode_results=False,
     )
+    telemetry = Telemetry() if args.report else NULL_TELEMETRY
     if args.parallel >= 2:
         result, stats = run_plinger(params, kgrid, config,
-                                    nproc=args.parallel, backend="procs")
+                                    nproc=args.parallel,
+                                    backend=args.backend,
+                                    telemetry=telemetry)
         print(f"PLINGER: {kgrid.nk} modes on {args.parallel - 1} workers, "
               f"{stats.wall_seconds:.1f} s wallclock, "
               f"{stats.master_bytes_received} bytes gathered")
     else:
-        result = run_linger(params, kgrid, config)
+        result = run_linger(params, kgrid, config, telemetry=telemetry)
         print(f"LINGER: {kgrid.nk} modes, {result.wall_seconds:.1f} s")
     path = save_run(result, args.output)
     print(f"archived to {path}")
+    if args.report:
+        report = telemetry.build_report(meta={
+            "model": args.model,
+            "command": "run",
+            "rtol": args.rtol,
+            "lmax": args.lmax,
+        })
+        report.save(args.report)
+        print(f"telemetry report written to {args.report}")
+        _print_report_summary(report)
     return 0
+
+
+def _print_report_summary(report) -> None:
+    """A terse, human-readable digest of a RunReport."""
+    totals = report.totals
+    rows = [
+        ["modes", totals["n_modes"]],
+        ["RHS evaluations", totals["n_rhs"]],
+        ["steps accepted", totals["n_steps"]],
+        ["steps rejected", totals["n_rejected"]],
+        ["flops (estimated)", f"{totals['flops_est']:.3e}"],
+        ["mode wallclock [s]", f"{totals['mode_wall_seconds']:.3f}"],
+    ]
+    if report.workers:
+        rows.append(["worker busy [s]",
+                     f"{totals['worker_busy_seconds']:.3f}"])
+        rows.append(["worker idle [s]",
+                     f"{totals['worker_idle_seconds']:.3f}"])
+    for tag, v in sorted(totals["messages_sent_by_tag"].items()):
+        rows.append([f"messages {tag}", f"{v['count']} ({v['bytes']} B)"])
+    print(format_table(["telemetry", "value"], rows, title="run report"))
 
 
 def cmd_spectrum(args) -> int:

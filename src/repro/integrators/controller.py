@@ -28,6 +28,8 @@ class StepController:
         Clamp on the step-size change per step.
     beta:
         PI integral gain; 0 recovers the classical I controller.
+    n_accepted, n_rejected:
+        Running decision counts, read by the run telemetry layer.
     """
 
     order: int
@@ -35,6 +37,8 @@ class StepController:
     min_factor: float = 0.2
     max_factor: float = 5.0
     beta: float = 0.04
+    n_accepted: int = 0
+    n_rejected: int = 0
     _prev_err: float = 1.0
 
     def error_norm(
@@ -62,5 +66,8 @@ class StepController:
     def accept(self, err_norm: float) -> bool:
         ok = err_norm <= 1.0
         if ok:
+            self.n_accepted += 1
             self._prev_err = max(err_norm, 1e-10)
+        else:
+            self.n_rejected += 1
         return ok

@@ -97,6 +97,7 @@ class RKDriver:
         min_step: float = 0.0,
         max_steps: int = 1_000_000,
         first_step: float | None = None,
+        flops_per_rhs: float | None = None,
     ) -> None:
         self.rhs = rhs
         self.tableau = tableau
@@ -106,7 +107,26 @@ class RKDriver:
         self.min_step = float(min_step)
         self.max_steps = int(max_steps)
         self.first_step = first_step
+        self.flops_per_rhs = flops_per_rhs
         self._k: np.ndarray | None = None  # stage buffer (s, n)
+
+    # ------------------------------------------------------------------
+
+    def _flops_per_step(self, n: int) -> int:
+        """Estimated flops of one attempted step: ``s`` RHS evaluations
+        plus the tableau linear algebra (stage combinations, the two
+        solution/error contractions, the error norm).
+
+        The default RHS estimate (~12 flops per state entry plus a
+        fixed metric/thermo overhead) matches the calibrated cost model
+        in :mod:`repro.cluster.costmodel`.
+        """
+        s = self.tableau.n_stages
+        rhs = self.flops_per_rhs
+        if rhs is None:
+            rhs = 12.0 * n + 300.0
+        tableau = n * (2 * s * (s - 1) + 2 * (s - 1) + 4 * s + 9)
+        return int(round(s * rhs + tableau))
 
     # ------------------------------------------------------------------
 
@@ -170,6 +190,8 @@ class RKDriver:
 
         f0 = self.rhs(t, y)
         stats.n_rhs += 1
+        step_flops = self._flops_per_step(y.size)
+        stats.n_flops += step_flops // self.tableau.n_stages  # the f0 eval
         h = self._initial_step(t, y, f0, t1)
 
         recorded_t: list[float] = []
@@ -186,6 +208,7 @@ class RKDriver:
 
             y_new, err, _ = self._step(t, y, h)
             stats.n_rhs += self.tableau.n_stages
+            stats.n_flops += step_flops
             if not np.all(np.isfinite(y_new)):
                 err_norm = math.inf
             else:

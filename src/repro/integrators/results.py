@@ -15,16 +15,21 @@ class IntegratorStats:
 
     ``n_rhs`` is the number the cluster cost model calibrates against:
     total work per mode is (RHS evaluations) x (flops per evaluation).
+    ``n_flops`` is the driver's estimate of that total (RHS cost plus
+    the tableau linear algebra), the observable the paper's flop-rate
+    tables are built from.
     """
 
     n_steps: int = 0
     n_rejected: int = 0
     n_rhs: int = 0
+    n_flops: int = 0
 
     def merge(self, other: "IntegratorStats") -> None:
         self.n_steps += other.n_steps
         self.n_rejected += other.n_rejected
         self.n_rhs += other.n_rhs
+        self.n_flops += other.n_flops
 
 
 @dataclass

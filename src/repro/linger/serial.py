@@ -16,6 +16,7 @@ from ..background import Background
 from ..errors import ParameterError
 from ..params import CosmologyParams
 from ..perturbations import ModeResult, default_record_grid, evolve_mode
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..thermo import ThermalHistory
 from .kgrid import KGrid
 from .records import ModeHeader, ModePayload
@@ -67,6 +68,7 @@ def compute_mode(
     k: float,
     ik: int,
     config: LingerConfig,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> tuple[ModeHeader, ModePayload, ModeResult]:
     """Integrate one wavenumber and build the two output records.
 
@@ -95,8 +97,11 @@ def compute_mode(
         atol=config.atol,
         tca_eps=config.tca_eps,
         amplitude=config.amplitude,
+        telemetry=telemetry,
     )
     cpu = time.process_time() - cpu0
+    if telemetry.enabled:
+        telemetry.annotate_last_mode(ik=int(ik), cpu_seconds=float(cpu))
 
     lo = mode.layout
     y = mode.y_final
@@ -191,11 +196,15 @@ def run_linger(
     background: Background | None = None,
     thermo: ThermalHistory | None = None,
     progress: bool = False,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> LingerResult:
     """The serial LINGER main loop.
 
     Wavenumbers are *computed* in dispatch order (largest first, as the
     paper does) but the result lists are returned in ascending-k order.
+    Pass an enabled :class:`~repro.telemetry.Telemetry` to collect
+    per-mode integrator metrics (build a
+    :class:`~repro.telemetry.RunReport` from it afterwards).
     """
     config = config or LingerConfig()
     background = background or Background(params)
@@ -210,7 +219,8 @@ def run_linger(
     for count, idx in enumerate(kgrid.dispatch_order):
         k = float(kgrid.k[idx])
         header, payload, mode = compute_mode(
-            background, thermo, k, ik=idx + 1, config=config
+            background, thermo, k, ik=idx + 1, config=config,
+            telemetry=telemetry,
         )
         headers[idx] = header
         payloads[idx] = payload
@@ -221,6 +231,10 @@ def run_linger(
                 f"cpu={header.cpu_seconds:.2f}s steps={payload.n_steps:.0f}"
             )
     wall = time.perf_counter() - wall0
+    if telemetry.enabled:
+        telemetry.timer("linger.wall").add(wall)
+        telemetry.meta.setdefault("driver", "linger-serial")
+        telemetry.meta.setdefault("nk", nk)
 
     return LingerResult(
         params=params,

@@ -35,20 +35,50 @@ __all__ = ["MessagePassing", "World", "get_backend", "available_backends"]
 
 @dataclass
 class TrafficStats:
-    """Per-rank accounting of message traffic."""
+    """Per-rank accounting of message traffic.
+
+    Totals plus per-tag breakdowns (``{tag: {"count", "bytes"}}``) —
+    the raw material of the paper's message-economics table, consumed
+    by :mod:`repro.telemetry`.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_received: int = 0
     bytes_received: int = 0
+    sent_by_tag: dict[int, dict[str, int]] = field(default_factory=dict)
+    received_by_tag: dict[int, dict[str, int]] = field(default_factory=dict)
+
+    @staticmethod
+    def _note(by_tag: dict, msg: Message) -> None:
+        slot = by_tag.get(msg.tag)
+        if slot is None:
+            slot = by_tag[msg.tag] = {"count": 0, "bytes": 0}
+        slot["count"] += 1
+        slot["bytes"] += msg.nbytes
 
     def note_send(self, msg: Message) -> None:
         self.messages_sent += 1
         self.bytes_sent += msg.nbytes
+        self._note(self.sent_by_tag, msg)
 
     def note_recv(self, msg: Message) -> None:
         self.messages_received += 1
         self.bytes_received += msg.nbytes
+        self._note(self.received_by_tag, msg)
+
+    def as_dict(self) -> dict:
+        """JSON-able form (tag keys stringified)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "messages_received": self.messages_received,
+            "bytes_received": self.bytes_received,
+            "sent_by_tag": {str(t): dict(v)
+                            for t, v in self.sent_by_tag.items()},
+            "received_by_tag": {str(t): dict(v)
+                                for t, v in self.received_by_tag.items()},
+        }
 
 
 class MessagePassing(abc.ABC):
@@ -154,6 +184,19 @@ class MessagePassing(abc.ABC):
         self.stats.note_recv(msg)
         return msg.data.copy()
 
+    # -- out-of-band telemetry ------------------------------------------------
+
+    def publish_telemetry(self, payload: dict) -> None:
+        """Make a JSON-able telemetry blob available to the launching
+        process via :meth:`World.collect_telemetry`.
+
+        This is *not* a protocol message: it bypasses the mailboxes and
+        the traffic counters, so instrumented and uninstrumented runs
+        exchange exactly the same PLINGER messages.  The base
+        implementation discards the payload; backends whose handles can
+        reach their world publish into it.
+        """
+
 
 class World(abc.ABC):
     """A communicator: owns the mailboxes, constructs per-rank handles."""
@@ -162,10 +205,23 @@ class World(abc.ABC):
         if nproc < 1:
             raise MessagePassingError("nproc must be >= 1")
         self.nproc = nproc
+        self._telemetry: dict[int, dict] = {}
 
     @abc.abstractmethod
     def handle(self, rank: int) -> MessagePassing:
         """The message-passing handle for ``rank``."""
+
+    def publish_telemetry(self, rank: int, payload: dict) -> None:
+        """Store rank-``rank``'s telemetry blob for later collection."""
+        self._telemetry[rank] = payload
+
+    def collect_telemetry(self) -> dict[int, dict]:
+        """Telemetry blobs published by ranks, keyed by rank.
+
+        Valid after the ranks have finished (for process-based worlds,
+        after :meth:`join`); ranks that published nothing are absent.
+        """
+        return dict(self._telemetry)
 
 
 def available_backends() -> tuple[str, ...]:

@@ -44,9 +44,14 @@ class FaultyWorld(World):
         self.policy = policy
         self.delivery_count = 0
         self.faults_injected = 0
+        #: faults per message tag, for exact accounting in tests
+        self.faults_by_tag: dict[int, int] = {}
 
     def handle(self, rank: int) -> "FaultyHandle":
         return FaultyHandle(self, self._inner.handle(rank))
+
+    def collect_telemetry(self) -> dict[int, dict]:
+        return self._inner.collect_telemetry()
 
     def _apply(self, target: int, msg: Message,
                deliver: Callable[[int, Message], None]) -> None:
@@ -56,6 +61,7 @@ class FaultyWorld(World):
             deliver(target, msg)
             return
         self.faults_injected += 1
+        self.faults_by_tag[msg.tag] = self.faults_by_tag.get(msg.tag, 0) + 1
         action = self.policy.action
         if action == "drop":
             return
@@ -95,3 +101,6 @@ class FaultyHandle(MessagePassing):
 
     def _consume(self, tag, source) -> Message:
         return self._inner._consume(tag, source)
+
+    def publish_telemetry(self, payload: dict) -> None:
+        self._inner.publish_telemetry(payload)

@@ -77,3 +77,6 @@ class InProcessHandle(MessagePassing):
 
     def _consume(self, tag: int, source: int) -> Message:
         return self._world.find(self._rank, tag, source, remove=True)
+
+    def publish_telemetry(self, payload: dict) -> None:
+        self._world.publish_telemetry(self._rank, payload)

@@ -35,6 +35,10 @@ class ProcsWorld(World):
         ctx = mp.get_context("fork")
         self._ctx = ctx
         self._queues = [ctx.Queue() for _ in range(nproc)]
+        # side channel for telemetry blobs published by forked children;
+        # never carries protocol messages, so it leaves traffic counts
+        # untouched.
+        self._telemetry_queue = ctx.Queue()
         self._timeout = timeout
         self._children: list[mp.Process] = []
 
@@ -58,6 +62,16 @@ class ProcsWorld(World):
                 proc.join(5.0)
                 raise MessagePassingError("worker process failed to exit")
         self._children.clear()
+
+    def collect_telemetry(self) -> dict[int, dict]:
+        """Drain child-published telemetry blobs (call after join)."""
+        while True:
+            try:
+                rank, payload = self._telemetry_queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            self._telemetry[rank] = payload
+        return dict(self._telemetry)
 
 
 def _child_main(world: "ProcsWorld", rank: int, entry: Callable, args) -> None:
@@ -118,3 +132,6 @@ class ProcsHandle(MessagePassing):
         msg = self._scan(tag, source, remove=True)
         assert msg is not None
         return msg
+
+    def publish_telemetry(self, payload: dict) -> None:
+        self._world._telemetry_queue.put((self._rank, payload))

@@ -31,7 +31,11 @@ class SerialWorld(World):
 class SerialHandle(MessagePassing):
     def __init__(self, world: SerialWorld) -> None:
         super().__init__(0, 1)
+        self._world = world
         self._box: list[Message] = []
+
+    def publish_telemetry(self, payload: dict) -> None:
+        self._world.publish_telemetry(0, payload)
 
     def _deliver(self, target: int, msg: Message) -> None:
         self._box.append(msg)

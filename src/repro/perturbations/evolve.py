@@ -17,6 +17,7 @@ performs for each wavenumber it receives from the master.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +26,7 @@ from ..background import Background
 from ..errors import IntegrationError, ParameterError
 from ..integrators import DVERK, IntegratorStats
 from ..integrators.dverk import RKDriver
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..thermo import ThermalHistory
 from .gauges import newtonian_potentials
 from .initial import (
@@ -239,11 +241,19 @@ def evolve_mode(
     initial_conditions: str = "adiabatic",
     driver_cls: type[RKDriver] = DVERK,
     max_steps: int = 2_000_000,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> ModeResult:
     """Evolve one wavenumber and return its records and final state.
 
     This is the LINGER worker computation: everything from the series
     initial conditions at ``k tau = 0.03`` to the multipoles today.
+
+    When ``telemetry`` is enabled, the per-phase wallclock (tight
+    coupling vs full hierarchy), the TCA switch time, and the
+    integrator cost counters are recorded as one
+    :class:`~repro.telemetry.report.ModeMetrics`; the default no-op
+    collector measures nothing and the integration is bit-identical
+    either way.
     """
     tau_end = background.tau0 if tau_end is None else float(tau_end)
     nq_eff = nq if background.params.omega_nu > 0 else 0
@@ -288,6 +298,7 @@ def evolve_mode(
     stats = IntegratorStats()
 
     # Phase 1: tight coupling ------------------------------------------
+    wall0 = time.perf_counter() if telemetry.enabled else 0.0
     stops1 = record_tau[record_tau <= t_switch]
     drv1 = driver_cls(system.rhs_tca, rtol=rtol, atol=atol, max_steps=max_steps)
     recorder.tight = True
@@ -299,6 +310,7 @@ def evolve_mode(
     )
     y = res1.y
     system.initialize_full_from_tca(y, t_switch)
+    wall1 = time.perf_counter() if telemetry.enabled else 0.0
 
     # Phase 2: full hierarchy ------------------------------------------
     recorder.tight = False
@@ -310,6 +322,21 @@ def evolve_mode(
         on_stop=lambda t, y_: recorder(t, y_) if _in(t, stops2) else None,
         stats=stats,
     )
+
+    if telemetry.enabled:
+        wall2 = time.perf_counter()
+        telemetry.record_mode(
+            k=k,
+            lmax=layout.lmax_photon,
+            n_rhs=stats.n_rhs,
+            n_steps=stats.n_steps,
+            n_rejected=stats.n_rejected,
+            flops_est=stats.n_flops,
+            tau_switch=t_switch,
+            tca_wall_seconds=wall1 - wall0,
+            full_wall_seconds=wall2 - wall1,
+            wall_seconds=wall2 - wall0,
+        )
 
     records = {name: arr[: recorder.i] for name, arr in recorder.arrays.items()}
     return ModeResult(

@@ -22,11 +22,16 @@ from ..linger.kgrid import KGrid
 from ..linger.serial import LingerConfig, LingerResult, compute_mode
 from ..mp import get_backend
 from ..params import CosmologyParams
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..thermo import ThermalHistory
 from .master import master_subroutine
+from .tags import Tag
 from .worker import worker_subroutine
 
 __all__ = ["PlingerRunStats", "run_plinger"]
+
+#: tag -> name map used to label per-tag traffic in reports.
+TAG_NAMES = {int(t): t.name for t in Tag}
 
 
 @dataclass
@@ -43,18 +48,33 @@ class PlingerRunStats:
     worker_cpu_seconds: np.ndarray  #: per-mode CPU, ascending-k order
 
 
-def _worker_entry(mp_handle, background, thermo, kgrid, config):
-    """Entry point for worker ranks (thread target / forked child)."""
+def _worker_entry(mp_handle, background, thermo, kgrid, config,
+                  with_telemetry: bool = False):
+    """Entry point for worker ranks (thread target / forked child).
+
+    With telemetry on, the worker builds its own collector (forked
+    children share no memory with the master) and publishes it —
+    together with its traffic stats and busy/idle log — through the
+    world's out-of-band channel after the protocol completes.
+    """
+    telemetry = Telemetry() if with_telemetry else NULL_TELEMETRY
     mp_handle.initpass()
 
     def compute(ik: int):
         k = float(kgrid.k[ik - 1])
         header, payload, _ = compute_mode(
-            background, thermo, k, ik=ik, config=config
+            background, thermo, k, ik=ik, config=config,
+            telemetry=telemetry,
         )
         return header, payload
 
-    worker_subroutine(mp_handle, compute)
+    log = worker_subroutine(mp_handle, compute)
+    if with_telemetry:
+        mp_handle.publish_telemetry({
+            "traffic": mp_handle.stats.as_dict(),
+            "worker": log.as_dict(),
+            "telemetry": telemetry.worker_payload(),
+        })
     mp_handle.endpass()
 
 
@@ -66,12 +86,17 @@ def run_plinger(
     backend: str = "inprocess",
     background: Background | None = None,
     thermo: ThermalHistory | None = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> tuple[LingerResult, PlingerRunStats]:
     """Run PLINGER with ``nproc - 1`` workers plus the master.
 
     The master cohabits the calling process (rank 0), as the paper
     notes PVM allowed ("desirable because the master process requires
     little CPU time").
+
+    Pass an enabled :class:`~repro.telemetry.Telemetry` to also gather
+    per-tag message traffic for every rank, per-worker busy/idle time,
+    and each worker's per-mode integrator metrics.
     """
     if nproc < 2:
         raise MessagePassingError("PLINGER needs at least 1 worker (nproc >= 2)")
@@ -89,12 +114,14 @@ def run_plinger(
 
     wall0 = time.perf_counter()
     if backend == "procs":
-        world.launch(_worker_entry, background, thermo, kgrid, config)
+        world.launch(_worker_entry, background, thermo, kgrid, config,
+                     telemetry.enabled)
     elif backend == "inprocess":
         threads = [
             threading.Thread(
                 target=_worker_entry,
-                args=(world.handle(r), background, thermo, kgrid, config),
+                args=(world.handle(r), background, thermo, kgrid, config,
+                      telemetry.enabled),
                 daemon=True,
             )
             for r in range(1, nproc)
@@ -118,6 +145,29 @@ def run_plinger(
             if t.is_alive():
                 raise MessagePassingError("worker thread failed to exit")
     wall = time.perf_counter() - wall0
+
+    if telemetry.enabled:
+        telemetry.meta.setdefault("driver", "plinger")
+        telemetry.meta.setdefault("backend", backend)
+        telemetry.meta.setdefault("nproc", nproc)
+        telemetry.meta.setdefault("nk", kgrid.nk)
+        telemetry.timer("plinger.wall").add(wall)
+        telemetry.timer("master.probe_wait").add(
+            log.probe_wait_seconds, count=len(log.headers)
+        )
+        telemetry.record_traffic(0, "master", master_mp.stats,
+                                 tag_names=TAG_NAMES)
+        for rank, payload in sorted(world.collect_telemetry().items()):
+            telemetry.record_traffic(rank, "worker", payload["traffic"],
+                                     tag_names=TAG_NAMES)
+            w = payload["worker"]
+            telemetry.record_worker(
+                rank,
+                modes_done=w["modes_done"],
+                busy_seconds=w["busy_seconds"],
+                idle_seconds=w["idle_seconds"],
+            )
+            telemetry.merge_worker_payload(payload["telemetry"])
 
     # reassemble in ascending-k order
     nk = kgrid.nk

@@ -10,6 +10,7 @@ first, so the expensive modes never land at the end of the run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -29,12 +30,18 @@ INIT_MESSAGE_LENGTH = 5
 
 @dataclass
 class MasterLog:
-    """What the master accumulates over a run."""
+    """What the master accumulates over a run.
+
+    ``probe_wait_seconds`` is wallclock the master spent blocked
+    waiting for worker messages — essentially all of its life, which
+    is the paper's argument for co-hosting it with a worker.
+    """
 
     headers: list[ModeHeader] = field(default_factory=list)
     payloads: list[ModePayload] = field(default_factory=list)
     dispatched: list[int] = field(default_factory=list)
     stops_sent: int = 0
+    probe_wait_seconds: float = 0.0
 
 
 def master_subroutine(
@@ -76,7 +83,9 @@ def master_subroutine(
     ik_done = 0
 
     while ik_done < nk or log.stops_sent < mp.nproc - 1:
+        wait0 = time.perf_counter()
         msgtype, itid = mp.mycheckany()
+        log.probe_wait_seconds += time.perf_counter() - wait0
 
         if msgtype == Tag.READY:
             # the request carries no data; dispose of it

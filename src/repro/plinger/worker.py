@@ -7,6 +7,7 @@ payload back, and wait for the next wavenumber or a stop message.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -23,10 +24,25 @@ __all__ = ["WorkerLog", "worker_subroutine"]
 
 @dataclass
 class WorkerLog:
-    """Per-worker accounting."""
+    """Per-worker accounting.
+
+    ``busy_seconds`` is wallclock inside the mode computations;
+    ``idle_seconds`` is wallclock spent blocked on the master (waiting
+    for the setup broadcast, a wavenumber, or the stop message) — the
+    quantity the largest-k-first schedule is designed to minimize.
+    """
 
     modes_done: int = 0
     init_data: np.ndarray | None = None
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "modes_done": self.modes_done,
+            "busy_seconds": self.busy_seconds,
+            "idle_seconds": self.idle_seconds,
+        }
 
 
 def worker_subroutine(
@@ -44,7 +60,8 @@ def worker_subroutine(
     log = WorkerLog()
     mastid = mp.mastid
 
-    # receive initial data from master
+    # receive initial data from master (idle until it arrives)
+    wait0 = time.perf_counter()
     mp.mycheckone(Tag.INIT, mastid)
     log.init_data = mp.myrecvreal(INIT_MESSAGE_LENGTH, Tag.INIT, mastid)
 
@@ -54,20 +71,25 @@ def worker_subroutine(
     # receive next ik or a stop message
     msgtype = mp.mychecktid(mastid)
     buf = mp.myrecvreal(1, msgtype, mastid)
+    log.idle_seconds += time.perf_counter() - wait0
 
     while msgtype == Tag.WORK:
         ik = int(round(buf[0]))
         if ik < 1:
             raise ProtocolError(f"worker received invalid ik={ik}")
+        busy0 = time.perf_counter()
         header, payload = compute(ik)
         if header.lmax != payload.lmax:
             raise ProtocolError("header/payload lmax mismatch")
         mp.mysendreal(header.pack(), Tag.HEADER, mastid)
         mp.mysendreal(payload.pack(), Tag.PAYLOAD, mastid)
         log.modes_done += 1
+        log.busy_seconds += time.perf_counter() - busy0
 
+        wait0 = time.perf_counter()
         msgtype = mp.mychecktid(mastid)
         buf = mp.myrecvreal(1, msgtype, mastid)
+        log.idle_seconds += time.perf_counter() - wait0
 
     if msgtype != Tag.STOP:
         raise ProtocolError(f"worker expected WORK or STOP, got tag {msgtype}")

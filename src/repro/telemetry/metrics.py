@@ -1,0 +1,138 @@
+"""Zero-dependency metric primitives: counters, timers, histograms.
+
+These are the building blocks of the run telemetry layer.  They carry
+no locks — a metric instance belongs to one rank (the PLINGER workers
+each build their own :class:`~repro.telemetry.core.Telemetry` and ship
+the serialized result to the master) — and they are cheap enough that
+the *enabled* path adds only integer/float arithmetic per event.  The
+disabled path never reaches them (see
+:class:`~repro.telemetry.core.NullTelemetry`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Timer", "Histogram"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += int(n)
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def as_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class Timer:
+    """An accumulating wall-clock timer.
+
+    Use as a context manager (re-entrant intervals are not supported)::
+
+        with tele.timer("phase.full"):
+            ...
+    """
+
+    __slots__ = ("name", "total_seconds", "count", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_seconds = 0.0
+        self.count = 0
+        self._start: float | None = None
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"timer {self.name!r} stopped before start")
+        dt = time.perf_counter() - self._start
+        self._start = None
+        self.total_seconds += dt
+        self.count += 1
+        return dt
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        """Fold an externally measured interval into the total."""
+        self.total_seconds += float(seconds)
+        self.count += int(count)
+
+    def merge(self, other: "Timer") -> None:
+        self.total_seconds += other.total_seconds
+        self.count += other.count
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def as_dict(self) -> dict:
+        return {"total_seconds": self.total_seconds, "count": self.count}
+
+
+@dataclass
+class Histogram:
+    """Streaming summary statistics of observed values.
+
+    Keeps count / sum / min / max / sum-of-squares, so mean and
+    standard deviation are available without storing the samples.
+    """
+
+    name: str
+    n: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.n += 1
+        self.total += v
+        self.total_sq += v * v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else math.nan
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0 if self.n else math.nan
+        var = self.total_sq / self.n - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    def merge(self, other: "Histogram") -> None:
+        self.n += other.n
+        self.total += other.total
+        self.total_sq += other.total_sq
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "total": self.total,
+            "mean": None if self.n == 0 else self.mean,
+            "std": None if self.n == 0 else self.std,
+            "min": None if self.n == 0 else self.min,
+            "max": None if self.n == 0 else self.max,
+        }

@@ -1,0 +1,200 @@
+"""The serializable product of a telemetered run: :class:`RunReport`.
+
+A report is plain data — dataclasses of floats, ints and dicts — with a
+stable JSON layout (``schema`` = ``repro.telemetry.RunReport/v1``) so
+that the ``BENCH_*.json`` artifacts written by the benchmarks can be
+diffed across commits.  Everything the paper's evaluation tables need
+is here: per-mode integrator metrics (the flop-rate tables), per-tag
+message counts and bytes (the message-economics table), and per-worker
+busy/idle time (the Fig. 1 utilization argument).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA",
+    "ModeMetrics",
+    "RankTraffic",
+    "WorkerMetrics",
+    "RunReport",
+]
+
+#: Format identifier embedded in every serialized report.
+SCHEMA = "repro.telemetry.RunReport/v1"
+
+
+def _json_default(obj):
+    """Coerce numpy scalars (which leak in from grid indices and stats)
+    without importing numpy here."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+@dataclass
+class ModeMetrics:
+    """Integrator cost of one wavenumber (one LINGER work unit)."""
+
+    k: float
+    ik: int = 0  #: 1-based grid index (0 = not assigned yet)
+    lmax: int = 0
+    n_rhs: int = 0
+    n_steps: int = 0  #: accepted steps
+    n_rejected: int = 0
+    flops_est: int = 0  #: estimated floating-point operations
+    tau_switch: float = 0.0  #: TCA -> full hierarchy switch time [Mpc]
+    tca_wall_seconds: float = 0.0
+    full_wall_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModeMetrics":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
+class RankTraffic:
+    """Per-tag message traffic of one rank, as sent/received maps
+    ``{tag_name: {"count": int, "bytes": int}}``."""
+
+    rank: int
+    role: str  #: "master" | "worker"
+    sent: dict[str, dict[str, int]] = field(default_factory=dict)
+    received: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(v["count"] for v in self.sent.values())
+
+    @property
+    def messages_received(self) -> int:
+        return sum(v["count"] for v in self.received.values())
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(v["bytes"] for v in self.sent.values())
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(v["bytes"] for v in self.received.values())
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RankTraffic":
+        return cls(rank=int(d["rank"]), role=str(d["role"]),
+                   sent=dict(d.get("sent", {})),
+                   received=dict(d.get("received", {})))
+
+
+@dataclass
+class WorkerMetrics:
+    """Schedule accounting of one worker rank."""
+
+    rank: int
+    modes_done: int = 0
+    busy_seconds: float = 0.0  #: time spent inside mode integrations
+    idle_seconds: float = 0.0  #: time spent waiting on the master
+
+    @property
+    def utilization(self) -> float:
+        total = self.busy_seconds + self.idle_seconds
+        return self.busy_seconds / total if total > 0 else 0.0
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkerMetrics":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
+class RunReport:
+    """Everything a telemetered run measured, ready for JSON."""
+
+    meta: dict = field(default_factory=dict)
+    modes: list[ModeMetrics] = field(default_factory=list)
+    traffic: list[RankTraffic] = field(default_factory=list)
+    workers: list[WorkerMetrics] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, dict] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+    created_unix: float = field(default_factory=time.time)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def totals(self) -> dict:
+        """Run-level aggregates over the per-mode and per-rank sections."""
+        msg_by_tag: dict[str, dict[str, int]] = {}
+        for rt in self.traffic:
+            for tag, v in rt.sent.items():
+                slot = msg_by_tag.setdefault(tag, {"count": 0, "bytes": 0})
+                slot["count"] += v["count"]
+                slot["bytes"] += v["bytes"]
+        return {
+            "n_modes": len(self.modes),
+            "n_rhs": sum(m.n_rhs for m in self.modes),
+            "n_steps": sum(m.n_steps for m in self.modes),
+            "n_rejected": sum(m.n_rejected for m in self.modes),
+            "flops_est": sum(m.flops_est for m in self.modes),
+            "mode_wall_seconds": sum(m.wall_seconds for m in self.modes),
+            "mode_cpu_seconds": sum(m.cpu_seconds for m in self.modes),
+            "messages_sent_by_tag": msg_by_tag,
+            "worker_busy_seconds": sum(w.busy_seconds for w in self.workers),
+            "worker_idle_seconds": sum(w.idle_seconds for w in self.workers),
+        }
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "created_unix": self.created_unix,
+            "meta": dict(self.meta),
+            "totals": self.totals,
+            "modes": [asdict(m) for m in self.modes],
+            "traffic": [asdict(t) for t in self.traffic],
+            "workers": [asdict(w) for w in self.workers],
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+            "histograms": dict(self.histograms),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True,
+                          default=_json_default)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunReport":
+        if d.get("schema") != SCHEMA:
+            raise ValueError(f"not a {SCHEMA} document: {d.get('schema')!r}")
+        return cls(
+            meta=dict(d.get("meta", {})),
+            modes=[ModeMetrics.from_dict(m) for m in d.get("modes", [])],
+            traffic=[RankTraffic.from_dict(t) for t in d.get("traffic", [])],
+            workers=[WorkerMetrics.from_dict(w) for w in d.get("workers", [])],
+            counters=dict(d.get("counters", {})),
+            timers=dict(d.get("timers", {})),
+            histograms=dict(d.get("histograms", {})),
+            created_unix=float(d.get("created_unix", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "RunReport":
+        return cls.from_json(Path(path).read_text())

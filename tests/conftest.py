@@ -23,6 +23,27 @@ from repro import (
 from repro.perturbations import default_record_grid, evolve_mode
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite tests/data/golden_*.json from the current code "
+             "instead of comparing against them",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "golden: golden-regression guardrail — physics outputs must match "
+        "the frozen tests/data/golden_*.json files to rtol=1e-8",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request):
+    return request.config.getoption("--regen-golden")
+
+
 @pytest.fixture(scope="session")
 def scdm():
     return standard_cdm()

@@ -1,9 +1,12 @@
 """The command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import MODELS, build_parser, main
+from repro.telemetry import RunReport
 
 
 class TestParser:
@@ -50,3 +53,54 @@ class TestCommands:
         assert "delta-T_l" in out
         # the quadrupole line carries the COBE normalization
         assert "27.89" in out
+
+    def test_run_with_telemetry_report(self, tmp_path, capsys):
+        """`run --report` on a 4-mode parallel run emits a RunReport
+        with per-mode integrator metrics, per-tag message counts and
+        worker idle time (the acceptance-criteria invocation)."""
+        out_file = tmp_path / "run.npz"
+        report_file = tmp_path / "report.json"
+        assert main([
+            "run", "--nk", "4", "--k-min", "1e-3", "--k-max", "1e-2",
+            "--lmax", "8", "--rtol", "3e-4", "--parallel", "3",
+            "--backend", "inprocess", "--report", str(report_file),
+            "--output", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report written" in out
+        assert "RHS evaluations" in out
+        assert "messages WORK" in out
+
+        report = RunReport.load(report_file)
+        d = json.loads(report_file.read_text())
+        assert d["schema"] == "repro.telemetry.RunReport/v1"
+        # per-mode integrator metrics, one per wavenumber
+        assert len(report.modes) == 4
+        assert sorted(m.ik for m in report.modes) == [1, 2, 3, 4]
+        assert all(m.n_rhs > 0 and m.n_steps > 0 for m in report.modes)
+        assert all(m.flops_est > 0 for m in report.modes)
+        # per-tag message counts for master + both workers
+        totals = report.totals
+        tags = totals["messages_sent_by_tag"]
+        assert tags["WORK"]["count"] == 4
+        assert tags["HEADER"]["count"] == 4
+        assert {t.role for t in report.traffic} == {"master", "worker"}
+        # worker utilization / idle accounting
+        assert len(report.workers) == 2
+        assert totals["worker_busy_seconds"] > 0
+        assert all(w.idle_seconds >= 0 for w in report.workers)
+
+    def test_run_serial_report(self, tmp_path, capsys):
+        """`run --report` without --parallel: serial LINGER telemetry."""
+        out_file = tmp_path / "run.npz"
+        report_file = tmp_path / "report.json"
+        assert main([
+            "run", "--nk", "3", "--k-min", "1e-3", "--k-max", "5e-3",
+            "--lmax", "8", "--rtol", "3e-4",
+            "--report", str(report_file), "--output", str(out_file),
+        ]) == 0
+        report = RunReport.load(report_file)
+        assert report.meta["driver"] == "linger-serial"
+        assert len(report.modes) == 3
+        assert not report.traffic and not report.workers
+        assert report.timers["linger.wall"]["total_seconds"] > 0

@@ -1,0 +1,140 @@
+"""Golden-regression guardrail: frozen physics outputs.
+
+A small serial LINGER run with *frozen* numerical settings is compared
+against JSON snapshots committed under ``tests/data/``.  Any change to
+the physics pipeline — background, thermal history, Boltzmann hierarchy,
+integrator, spectra — that moves C_l or the transfer-function
+observables by more than rtol=1e-8 fails here.
+
+The run settings below are deliberately duplicated (not imported from a
+fixture) so that innocent fixture churn cannot silently invalidate the
+goldens.  Do not edit them; if the physics changes *intentionally*,
+regenerate the snapshots with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_regression.py --regen-golden
+
+and commit the new ``tests/data/golden_*.json`` together with an
+explanation of why the numbers moved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import KGrid, LingerConfig, run_linger
+from repro.spectra.cl import cl_from_hierarchy
+
+DATA_DIR = Path(__file__).parent / "data"
+GOLDEN_CL = DATA_DIR / "golden_cl.json"
+GOLDEN_TK = DATA_DIR / "golden_tk.json"
+
+#: Match tolerance: well above float64 noise, far below any physics change.
+RTOL = 1e-8
+
+# -- frozen run settings (never change silently) ----------------------------
+GOLDEN_KGRID = dict(k_min=3e-4, k_max=0.03, nk=8)
+GOLDEN_CONFIG = dict(
+    lmax_photon=24,
+    lmax_nu=12,
+    rtol=1e-4,
+    record_sources=False,
+    keep_mode_results=False,
+)
+
+#: Per-k header observables snapshotted into golden_tk.json.
+TK_FIELDS = [
+    "delta_m", "delta_c", "delta_b", "delta_g", "delta_nu",
+    "theta_b", "theta_g", "phi", "psi", "eta", "a_end", "tau_end",
+]
+
+
+@pytest.fixture(scope="module")
+def golden_run(scdm, bg_scdm, thermo_scdm):
+    kg = KGrid.from_k(np.geomspace(
+        GOLDEN_KGRID["k_min"], GOLDEN_KGRID["k_max"], GOLDEN_KGRID["nk"]))
+    return run_linger(scdm, kg, LingerConfig(**GOLDEN_CONFIG),
+                      background=bg_scdm, thermo=thermo_scdm)
+
+
+def snapshot_cl(result) -> dict:
+    l, cl = cl_from_hierarchy(result)
+    return {
+        "settings": {"kgrid": GOLDEN_KGRID, "config": GOLDEN_CONFIG},
+        "l": [int(x) for x in l],
+        "cl": [float(x) for x in cl],
+    }
+
+
+def snapshot_tk(result) -> dict:
+    out = {
+        "settings": {"kgrid": GOLDEN_KGRID, "config": GOLDEN_CONFIG},
+        "k": [float(x) for x in result.k],
+    }
+    for name in TK_FIELDS:
+        out[name] = [float(getattr(h, name)) for h in result.headers]
+    return out
+
+
+def _check(path: Path, fresh: dict, regen: bool) -> None:
+    if regen:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(fresh, indent=1, sort_keys=True) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"{path} is missing — generate it with --regen-golden and "
+            "commit it"
+        )
+    stored = json.loads(path.read_text())
+    assert stored["settings"] == fresh["settings"], (
+        "golden run settings drifted — the frozen constants in "
+        "test_golden_regression.py were edited"
+    )
+    for key in fresh:
+        if key == "settings":
+            continue
+        np.testing.assert_allclose(
+            np.asarray(fresh[key], dtype=float),
+            np.asarray(stored[key], dtype=float),
+            rtol=RTOL, atol=0.0,
+            err_msg=f"{path.name}:{key} drifted beyond rtol={RTOL}",
+        )
+
+
+@pytest.mark.golden
+def test_golden_cl(golden_run, regen_golden):
+    """Unnormalized hierarchy C_l (l = 2 .. lmax-3) matches the frozen
+    snapshot to one part in 1e8."""
+    _check(GOLDEN_CL, snapshot_cl(golden_run), regen_golden)
+
+
+@pytest.mark.golden
+def test_golden_transfer(golden_run, regen_golden):
+    """Per-k transfer observables (delta_m, delta_c, delta_b, delta_g,
+    potentials, ...) match the frozen snapshot to one part in 1e8."""
+    _check(GOLDEN_TK, snapshot_tk(golden_run), regen_golden)
+
+
+@pytest.mark.golden
+def test_golden_run_is_deterministic_under_telemetry(golden_run, scdm,
+                                                     bg_scdm, thermo_scdm):
+    """Re-running one golden mode with telemetry *enabled* is
+    bit-identical: instrumentation never touches the numerics."""
+    from repro import Telemetry
+    from repro.linger.serial import compute_mode
+
+    cfg = LingerConfig(**GOLDEN_CONFIG)
+    k = float(golden_run.k[-1])
+    telemetry = Telemetry()
+    header, payload, _ = compute_mode(bg_scdm, thermo_scdm, k,
+                                      ik=len(golden_run.k), config=cfg,
+                                      telemetry=telemetry)
+    base = golden_run.headers[-1]
+    assert header.delta_m == base.delta_m  # bitwise, not approx
+    assert header.phi == base.phi
+    assert np.array_equal(payload.f_gamma, golden_run.payloads[-1].f_gamma)
+    assert len(telemetry.modes) == 1 and telemetry.modes[0].n_rhs > 0
