@@ -64,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--rtol", type=float, default=1e-4)
     p_run.add_argument("--parallel", type=int, default=0, metavar="NPROC",
                        help="run PLINGER with this many ranks (0 = serial)")
+    p_run.add_argument("--batch-size", type=int, default=1, metavar="B",
+                       help="integrate k-modes in vectorized batches of "
+                            "up to B lanes (1 = per-mode reference path)")
     p_run.add_argument("--backend", choices=["inprocess", "procs"],
                        default="procs",
                        help="PLINGER transport (with --parallel)")
@@ -126,12 +129,14 @@ def cmd_run(args) -> int:
         result, stats = run_plinger(params, kgrid, config,
                                     nproc=args.parallel,
                                     backend=args.backend,
-                                    telemetry=telemetry)
+                                    telemetry=telemetry,
+                                    batch_size=args.batch_size)
         print(f"PLINGER: {kgrid.nk} modes on {args.parallel - 1} workers, "
               f"{stats.wall_seconds:.1f} s wallclock, "
               f"{stats.master_bytes_received} bytes gathered")
     else:
-        result = run_linger(params, kgrid, config, telemetry=telemetry)
+        result = run_linger(params, kgrid, config, telemetry=telemetry,
+                            batch_size=args.batch_size)
         print(f"LINGER: {kgrid.nk} modes, {result.wall_seconds:.1f} s")
     path = save_run(result, args.output)
     print(f"archived to {path}")
@@ -164,6 +169,11 @@ def _print_report_summary(report) -> None:
                      f"{totals['worker_busy_seconds']:.3f}"])
         rows.append(["worker idle [s]",
                      f"{totals['worker_idle_seconds']:.3f}"])
+    if report.batches:
+        rows.append(["batched chunks", totals["n_batches"]])
+        rows.append(["lane occupancy", f"{totals['lane_occupancy']:.3f}"])
+        rows.append(["wasted-step fraction",
+                     f"{totals['wasted_step_fraction']:.3f}"])
     for tag, v in sorted(totals["messages_sent_by_tag"].items()):
         rows.append([f"messages {tag}", f"{v['count']} ({v['bytes']} B)"])
     print(format_table(["telemetry", "value"], rows, title="run report"))

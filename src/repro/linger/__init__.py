@@ -11,7 +11,14 @@ largest-k-first ordering), the record formats, and the serial runner.
 from .io import SavedRun, load_run, read_ascii_headers, save_run, write_ascii_headers
 from .kgrid import KGrid, cl_kgrid, matter_kgrid
 from .records import ModeHeader, ModePayload, HEADER_LENGTH
-from .serial import LingerConfig, LingerResult, run_linger
+from .serial import (
+    LingerConfig,
+    LingerResult,
+    compute_mode,
+    compute_modes_batch,
+    dispatch_chunks,
+    run_linger,
+)
 
 __all__ = [
     "KGrid",
@@ -22,6 +29,9 @@ __all__ = [
     "HEADER_LENGTH",
     "LingerConfig",
     "LingerResult",
+    "compute_mode",
+    "compute_modes_batch",
+    "dispatch_chunks",
     "run_linger",
     "SavedRun",
     "save_run",

@@ -16,12 +16,20 @@ from ..background import Background
 from ..errors import ParameterError
 from ..params import CosmologyParams
 from ..perturbations import ModeResult, default_record_grid, evolve_mode
+from ..perturbations.evolve_batched import evolve_modes_batched
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..thermo import ThermalHistory
 from .kgrid import KGrid
 from .records import ModeHeader, ModePayload
 
-__all__ = ["LingerConfig", "LingerResult", "compute_mode", "run_linger"]
+__all__ = [
+    "LingerConfig",
+    "LingerResult",
+    "compute_mode",
+    "compute_modes_batch",
+    "dispatch_chunks",
+    "run_linger",
+]
 
 
 @dataclass(frozen=True)
@@ -102,19 +110,16 @@ def compute_mode(
     cpu = time.process_time() - cpu0
     if telemetry.enabled:
         telemetry.annotate_last_mode(ik=int(ik), cpu_seconds=float(cpu))
+    return (*_mode_records(mode, k, ik, config, cpu), mode)
 
-    lo = mode.layout
-    y = mode.y_final
-    # final-state observables via a one-point record
-    from ..perturbations.evolve import _Recorder
-    from ..perturbations.system import PerturbationSystem
 
-    system = PerturbationSystem(background, thermo, k, lo)
-    rec = _Recorder(system, 1)
-    rec.tight = False
-    rec(mode.tau_end, y)
-    obs = {name: arr[0] for name, arr in rec.arrays.items()}
-
+def _mode_records(
+    mode: ModeResult, k: float, ik: int, config: LingerConfig, cpu: float
+) -> tuple[ModeHeader, ModePayload]:
+    """The two wire records for one completed mode (serial or batched)."""
+    # final-state observables via a one-point record on the system the
+    # evolution already built (no second spline construction)
+    obs = mode.final_observables()
     header = ModeHeader(
         ik=ik,
         k=k,
@@ -136,7 +141,7 @@ def compute_mode(
         delta_m=obs["delta_m"],
         cpu_seconds=cpu,
         n_rhs=float(mode.stats.n_rhs),
-        lmax=lo.lmax_photon,
+        lmax=mode.layout.lmax_photon,
     )
     payload = ModePayload(
         ik=ik,
@@ -148,7 +153,101 @@ def compute_mode(
         f_gamma=mode.f_gamma_final,
         g_gamma=mode.g_gamma_final,
     )
-    return header, payload, mode
+    return header, payload
+
+
+def compute_modes_batch(
+    background: Background,
+    thermo: ThermalHistory,
+    ks,
+    iks,
+    config: LingerConfig,
+    telemetry: Telemetry = NULL_TELEMETRY,
+) -> list[tuple[ModeHeader, ModePayload, ModeResult]]:
+    """Integrate a chunk of wavenumbers together (one lane per mode).
+
+    The batched counterpart of :func:`compute_mode`: the chunk goes
+    through :func:`~repro.perturbations.evolve_batched.evolve_modes_batched`
+    as a ``(B, n_state)`` matrix, then each lane's wire records are
+    built exactly as the serial path builds them.  All modes in a chunk
+    must share one lmax (see :func:`dispatch_chunks`).
+    """
+    ks = [float(k) for k in ks]
+    iks = [int(ik) for ik in iks]
+    if len(ks) != len(iks) or not ks:
+        raise ParameterError("compute_modes_batch needs matching ks/iks")
+    tau_end = background.tau0 if config.tau_end is None else config.tau_end
+    lmaxes = {config.lmax_for_k(k, tau_end) for k in ks}
+    if len(lmaxes) != 1:
+        raise ParameterError(
+            "all modes in a batch chunk must share one lmax; "
+            "group the dispatch order with dispatch_chunks()"
+        )
+    lmax = lmaxes.pop()
+    record_tau = [
+        default_record_grid(background, thermo, k, tau_end=tau_end)
+        if config.record_sources
+        else None
+        for k in ks
+    ]
+    cpu0 = time.process_time()
+    modes = evolve_modes_batched(
+        background,
+        thermo,
+        ks,
+        lmax_photon=lmax,
+        lmax_nu=config.lmax_nu,
+        nq=config.nq,
+        lmax_massive_nu=config.lmax_massive_nu,
+        tau_end=tau_end,
+        record_tau=record_tau,
+        rtol=config.rtol,
+        atol=config.atol,
+        tca_eps=config.tca_eps,
+        amplitude=config.amplitude,
+        telemetry=telemetry,
+    )
+    cpu = (time.process_time() - cpu0) / len(ks)
+    if telemetry.enabled:
+        # evolve_modes_batched appended one ModeMetrics per lane, in
+        # lane order; patch in the grid index and the amortized CPU
+        for metric, ik in zip(telemetry.modes[-len(ks):], iks):
+            metric.ik = int(ik)
+            metric.cpu_seconds = float(cpu)
+    return [
+        (*_mode_records(mode, k, ik, config, cpu), mode)
+        for mode, k, ik in zip(modes, ks, iks)
+    ]
+
+
+def dispatch_chunks(
+    kgrid: KGrid,
+    config: LingerConfig,
+    tau_end: float,
+    batch_size: int,
+) -> list[list[int]]:
+    """Group the dispatch order into batchable chunks of grid indices.
+
+    Chunks follow the paper's largest-k-first schedule and are split
+    wherever the per-k lmax changes (``lmax_mode="scaled"``), since a
+    batch shares one state layout.  ``batch_size=1`` degenerates to the
+    serial dispatch order.
+    """
+    if batch_size < 1:
+        raise ParameterError("batch_size must be >= 1")
+    chunks: list[list[int]] = []
+    cur: list[int] = []
+    cur_lmax = None
+    for idx in kgrid.dispatch_order:
+        lmax = config.lmax_for_k(float(kgrid.k[idx]), tau_end)
+        if cur and (lmax != cur_lmax or len(cur) >= batch_size):
+            chunks.append(cur)
+            cur = []
+        cur.append(int(idx))
+        cur_lmax = lmax
+    if cur:
+        chunks.append(cur)
+    return chunks
 
 
 @dataclass
@@ -197,15 +296,21 @@ def run_linger(
     thermo: ThermalHistory | None = None,
     progress: bool = False,
     telemetry: Telemetry = NULL_TELEMETRY,
+    batch_size: int = 1,
 ) -> LingerResult:
     """The serial LINGER main loop.
 
     Wavenumbers are *computed* in dispatch order (largest first, as the
     paper does) but the result lists are returned in ascending-k order.
+    With ``batch_size > 1`` the dispatch order is cut into equal-lmax
+    chunks of up to that many modes and each chunk integrates through
+    the batched engine (same trajectories, vectorized across lanes).
     Pass an enabled :class:`~repro.telemetry.Telemetry` to collect
     per-mode integrator metrics (build a
     :class:`~repro.telemetry.RunReport` from it afterwards).
     """
+    if batch_size < 1:
+        raise ParameterError("batch_size must be >= 1")
     config = config or LingerConfig()
     background = background or Background(params)
     thermo = thermo or ThermalHistory(background)
@@ -215,19 +320,35 @@ def run_linger(
     payloads: list[ModePayload | None] = [None] * nk
     modes: list[ModeResult | None] = [None] * nk
 
+    def results():
+        if batch_size > 1:
+            tau_end = (background.tau0 if config.tau_end is None
+                       else config.tau_end)
+            for chunk in dispatch_chunks(kgrid, config, tau_end, batch_size):
+                res = compute_modes_batch(
+                    background, thermo,
+                    [float(kgrid.k[i]) for i in chunk],
+                    [i + 1 for i in chunk],
+                    config, telemetry=telemetry,
+                )
+                yield from zip(chunk, res)
+        else:
+            for idx in kgrid.dispatch_order:
+                yield idx, compute_mode(
+                    background, thermo, float(kgrid.k[idx]), ik=idx + 1,
+                    config=config, telemetry=telemetry,
+                )
+
     wall0 = time.perf_counter()
-    for count, idx in enumerate(kgrid.dispatch_order):
-        k = float(kgrid.k[idx])
-        header, payload, mode = compute_mode(
-            background, thermo, k, ik=idx + 1, config=config,
-            telemetry=telemetry,
-        )
+    count = 0
+    for idx, (header, payload, mode) in results():
         headers[idx] = header
         payloads[idx] = payload
         modes[idx] = mode if config.keep_mode_results else None
+        count += 1
         if progress:
             print(
-                f"[linger] {count + 1}/{nk} k={k:.5f} "
+                f"[linger] {count}/{nk} k={kgrid.k[idx]:.5f} "
                 f"cpu={header.cpu_seconds:.2f}s steps={payload.n_steps:.0f}"
             )
     wall = time.perf_counter() - wall0
@@ -235,6 +356,8 @@ def run_linger(
         telemetry.timer("linger.wall").add(wall)
         telemetry.meta.setdefault("driver", "linger-serial")
         telemetry.meta.setdefault("nk", nk)
+        if batch_size > 1:
+            telemetry.meta.setdefault("batch_size", batch_size)
 
     return LingerResult(
         params=params,

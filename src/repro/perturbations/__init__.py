@@ -25,8 +25,10 @@ from .initial import (
     isocurvature_initial_conditions,
 )
 from .system import PerturbationSystem
+from .system_batched import PerturbationSystemBatch
 from .system_newtonian import NewtonianPerturbationSystem
 from .evolve import ModeResult, evolve_mode, default_record_grid
+from .evolve_batched import evolve_modes_batched
 from .evolve_newtonian import evolve_mode_newtonian
 from .gauges import newtonian_potentials
 from .tensors import TensorMode, cl_tensor, evolve_tensor_mode
@@ -37,9 +39,11 @@ __all__ = [
     "adiabatic_initial_conditions_newtonian",
     "isocurvature_initial_conditions",
     "PerturbationSystem",
+    "PerturbationSystemBatch",
     "NewtonianPerturbationSystem",
     "ModeResult",
     "evolve_mode",
+    "evolve_modes_batched",
     "evolve_mode_newtonian",
     "default_record_grid",
     "newtonian_potentials",

@@ -76,6 +76,23 @@ class ModeResult:
     tau_init: float
     tau_switch: float
     tau_end: float
+    #: The RHS provider the evolution used; kept so downstream consumers
+    #: (final-state observables, source assembly) never rebuild the
+    #: splines a second time.
+    system: PerturbationSystem | None = None
+
+    def final_observables(self) -> dict[str, float]:
+        """All RECORD_FIELDS evaluated on the final state at tau_end.
+
+        Reuses the evolution's own :class:`PerturbationSystem` — no
+        second spline construction — via a one-point record.
+        """
+        if self.system is None:
+            raise ValueError("ModeResult was built without its system")
+        rec = _Recorder(self.system, 1)
+        rec.tight = False
+        rec(self.tau_end, self.y_final)
+        return {name: float(arr[0]) for name, arr in rec.arrays.items()}
 
     @property
     def f_gamma_final(self) -> np.ndarray:
@@ -146,7 +163,8 @@ class _Recorder:
         a = y[lo.A]
         hc = s.conformal_hubble(a)
         kappa_dot = s.opacity(a)
-        hdot, etadot, _, _ = s._metric_sources(y, a, hc)
+        eps = s.nu_eps(a)
+        hdot, etadot, _, _ = s._metric_sources(y, a, hc, eps=eps)
         fg = y[lo.sl_fg]
         gg = y[lo.sl_gg]
         nl = y[lo.sl_nl]
@@ -157,13 +175,12 @@ class _Recorder:
         else:
             sigma_g = 0.5 * fg[2]
             pi_pol = fg[2] + gg[0] + gg[2]
-        gshear = s.shear_sum(y, a, sigma_g)
+        gshear = s.shear_sum(y, a, sigma_g, eps=eps)
         pots = newtonian_potentials(s.k, y[lo.ETA], hdot, etadot, hc, gshear)
 
         p = s.params
         if lo.nq > 0:
             psi_m = lo.psi_matrix(y)
-            eps = np.sqrt(s.q_nodes**2 + (a * s._x0) ** 2)
             delta_nu_m = float((s._w_rho * eps) @ psi_m[:, 0]) / s._rho_factor(a)
         else:
             delta_nu_m = float("nan")
@@ -349,6 +366,7 @@ def evolve_mode(
         tau_init=t_init,
         tau_switch=t_switch,
         tau_end=tau_end,
+        system=system,
     )
 
 

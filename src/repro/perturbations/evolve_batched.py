@@ -1,0 +1,222 @@
+"""Batched per-mode evolution: B wavenumbers through both phases at once.
+
+:func:`evolve_modes_batched` is the vectorized counterpart of
+:func:`~repro.perturbations.evolve.evolve_mode`.  The *arithmetic* runs
+through :class:`~repro.perturbations.system_batched.PerturbationSystemBatch`
+and :class:`~repro.integrators.dverk_batched.BatchedDVERK` on a
+``(B, n_state)`` state matrix; everything *scalar* — initial
+conditions, the TCA exit search, observable recording, the TCA→full
+hand-off, final observables — goes through one ordinary serial
+:class:`~repro.perturbations.system.PerturbationSystem` per lane, so
+those code paths are shared with (and bit-identical to) the per-mode
+reference implementation.
+
+The two integration phases stay global: every lane runs tight coupling
+from its own ``tau_init`` to its own ``tau_switch`` (lanes that exit
+tight coupling early park until the batch drains), then every lane is
+handed off and the full hierarchy runs to ``tau_end``.  Each lane keeps
+its own adaptive step size and PI-controller memory, so the step
+*sequence* per lane matches what the serial driver would choose.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..background import Background
+from ..errors import ParameterError
+from ..integrators.dverk_batched import BatchedDVERK, BatchStats
+from ..integrators.results import IntegratorStats
+from ..telemetry import NULL_TELEMETRY, Telemetry
+from ..thermo import ThermalHistory
+from .evolve import ModeResult, _in, _Recorder, find_tca_exit, tau_initial
+from .initial import (
+    adiabatic_initial_conditions,
+    isocurvature_initial_conditions,
+)
+from .state import StateLayout
+from .system import PerturbationSystem
+from .system_batched import PerturbationSystemBatch
+
+__all__ = ["evolve_modes_batched"]
+
+
+def evolve_modes_batched(
+    background: Background,
+    thermo: ThermalHistory,
+    ks,
+    lmax_photon: int = 12,
+    lmax_nu: int = 12,
+    nq: int = 0,
+    lmax_massive_nu: int = 10,
+    tau_end: float | None = None,
+    record_tau=None,
+    rtol: float = 1e-5,
+    atol: float = 1e-9,
+    tca_eps: float = 0.01,
+    amplitude: float = 1.0,
+    initial_conditions: str = "adiabatic",
+    max_steps: int = 2_000_000,
+    telemetry: Telemetry = NULL_TELEMETRY,
+) -> list[ModeResult]:
+    """Evolve a chunk of wavenumbers together; one ModeResult per lane.
+
+    ``record_tau`` is either None (no records for any lane) or a
+    sequence of per-lane record grids (each an array or None).  All
+    lanes share the multipole cutoffs — callers batching a k-grid must
+    group modes of equal lmax into one chunk.
+    """
+    ks = np.asarray(ks, dtype=float)
+    if ks.ndim != 1 or ks.size == 0:
+        raise ParameterError("ks must be a non-empty 1-d array")
+    B = int(ks.size)
+    tau_end = background.tau0 if tau_end is None else float(tau_end)
+    nq_eff = nq if background.params.omega_nu > 0 else 0
+    layout = StateLayout(
+        lmax_photon=lmax_photon,
+        lmax_nu=lmax_nu,
+        nq=nq_eff,
+        lmax_massive_nu=lmax_massive_nu if nq_eff else 0,
+    )
+    batch_system = PerturbationSystemBatch(background, thermo, ks, layout)
+    # one serial system per lane for every scalar code path (recording,
+    # hand-off, final observables) — shared with the reference
+    # implementation so the observables are computed identically
+    systems = [
+        PerturbationSystem(background, thermo, float(k), layout) for k in ks
+    ]
+
+    ic_builders = {
+        "adiabatic": adiabatic_initial_conditions,
+        "isocurvature": isocurvature_initial_conditions,
+    }
+    if initial_conditions not in ic_builders:
+        raise ParameterError(
+            f"unknown initial_conditions {initial_conditions!r}; "
+            f"choose from {sorted(ic_builders)}"
+        )
+
+    t_init = np.array([tau_initial(float(k)) for k in ks])
+    if np.any(t_init >= tau_end):
+        raise ParameterError("tau_end precedes the initial time")
+    Y0 = np.empty((B, layout.n_state))
+    for b, k in enumerate(ks):
+        Y0[b] = ic_builders[initial_conditions](
+            layout, background, float(k), float(t_init[b]),
+            q_nodes=systems[b].q_nodes if nq_eff else None,
+            amplitude=amplitude,
+        )
+
+    t_switch = np.array([
+        find_tca_exit(background, thermo, float(k), tca_eps=tca_eps)
+        for k in ks
+    ])
+    t_switch = np.minimum(np.maximum(t_switch, t_init * 1.01), tau_end)
+
+    if record_tau is None:
+        record_tau = [None] * B
+    if len(record_tau) != B:
+        raise ParameterError("record_tau must have one grid per lane")
+    grids: list[np.ndarray] = []
+    for b, grid in enumerate(record_tau):
+        grid = np.empty(0) if grid is None else np.asarray(grid, dtype=float)
+        if grid.size and (
+            grid.min() <= t_init[b] or grid.max() > tau_end * (1 + 1e-9)
+        ):
+            raise ParameterError("record grid outside (tau_init, tau_end]")
+        grids.append(grid)
+
+    recorders = [_Recorder(systems[b], grids[b].size) for b in range(B)]
+    batch_stats = BatchStats()
+
+    # Phase 1: tight coupling ------------------------------------------
+    wall0 = time.perf_counter() if telemetry.enabled else 0.0
+    stops1 = [g[g <= t_switch[b]] for b, g in enumerate(grids)]
+    for rec in recorders:
+        rec.tight = True
+
+    def on_stop1(b: int, t: float, y_row: np.ndarray) -> None:
+        if _in(t, stops1[b]):
+            recorders[b](t, y_row)
+
+    drv1 = BatchedDVERK(batch_system.rhs_tca, rtol=rtol, atol=atol,
+                        max_steps=max_steps)
+    res1 = drv1.integrate(Y0, t_init, t_switch, stop_points=stops1,
+                          on_stop=on_stop1, stats=batch_stats)
+
+    # Hand-off: the slaved moments per lane, on views into the matrix
+    Y = res1.y
+    for b in range(B):
+        systems[b].initialize_full_from_tca(Y[b], float(t_switch[b]))
+    wall1 = time.perf_counter() if telemetry.enabled else 0.0
+
+    # Phase 2: full hierarchy ------------------------------------------
+    stops2 = [g[g > t_switch[b]] for b, g in enumerate(grids)]
+    for rec in recorders:
+        rec.tight = False
+
+    def on_stop2(b: int, t: float, y_row: np.ndarray) -> None:
+        if _in(t, stops2[b]):
+            recorders[b](t, y_row)
+
+    drv2 = BatchedDVERK(batch_system.rhs_full, rtol=rtol, atol=atol,
+                        max_steps=max_steps)
+    t_end = np.full(B, tau_end)
+    res2 = drv2.integrate(Y, t_switch, t_end, stop_points=stops2,
+                          on_stop=on_stop2, stats=batch_stats)
+
+    if telemetry.enabled:
+        wall2 = time.perf_counter()
+        for b in range(B):
+            n_rhs = int(res1.lane_n_rhs[b] + res2.lane_n_rhs[b])
+            telemetry.record_mode(
+                k=float(ks[b]),
+                lmax=layout.lmax_photon,
+                n_rhs=n_rhs,
+                n_steps=int(res1.lane_steps[b] + res2.lane_steps[b]),
+                n_rejected=int(res1.lane_rejected[b] + res2.lane_rejected[b]),
+                flops_est=int(res1.lane_flops[b] + res2.lane_flops[b]),
+                tau_switch=float(t_switch[b]),
+                tca_wall_seconds=(wall1 - wall0) / B,
+                full_wall_seconds=(wall2 - wall1) / B,
+                wall_seconds=(wall2 - wall0) / B,
+            )
+        telemetry.record_batch(
+            n_lanes=B,
+            k_min=float(ks.min()),
+            k_max=float(ks.max()),
+            n_sweeps=batch_stats.n_sweeps,
+            lane_steps_attempted=batch_stats.lane_steps_attempted,
+            lane_steps_accepted=batch_stats.lane_steps_accepted,
+            lane_steps_rejected=batch_stats.lane_steps_rejected,
+            lane_slots_idle=batch_stats.lane_slots_idle,
+            tca_wall_seconds=wall1 - wall0,
+            full_wall_seconds=wall2 - wall1,
+            wall_seconds=wall2 - wall0,
+        )
+
+    results: list[ModeResult] = []
+    for b in range(B):
+        rec = recorders[b]
+        stats = IntegratorStats()
+        for res in (res1, res2):
+            lane = res.lane_stats(b)
+            stats.n_steps += lane.n_steps
+            stats.n_rejected += lane.n_rejected
+            stats.n_rhs += lane.n_rhs
+            stats.n_flops += lane.n_flops
+        results.append(ModeResult(
+            k=float(ks[b]),
+            tau=rec.tau[: rec.i],
+            records={name: arr[: rec.i] for name, arr in rec.arrays.items()},
+            y_final=res2.y[b].copy(),
+            layout=layout,
+            stats=stats,
+            tau_init=float(t_init[b]),
+            tau_switch=float(t_switch[b]),
+            tau_end=tau_end,
+            system=systems[b],
+        ))
+    return results

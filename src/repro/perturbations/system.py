@@ -187,7 +187,19 @@ class PerturbationSystem:
     # Shared source sums
     # ------------------------------------------------------------------
 
-    def _metric_sources(self, y: np.ndarray, a: float, hc: float):
+    def nu_eps(self, a: float) -> np.ndarray | None:
+        """Comoving energy eps = sqrt(q^2 + (a m/T)^2) per momentum node.
+
+        Every massive-neutrino source sum needs this; the RHS computes
+        it once per call and passes it down instead of re-evaluating the
+        sqrt in each sector.
+        """
+        if self.nq == 0:
+            return None
+        return np.sqrt(self.q_nodes**2 + (a * self._x0) ** 2)
+
+    def _metric_sources(self, y: np.ndarray, a: float, hc: float,
+                        eps: np.ndarray | None = None):
         """hdot and etadot from the Einstein constraint equations.
 
         Returns (hdot, etadot, gdrho, gdq) where gdrho = 4 pi G a^2
@@ -210,7 +222,8 @@ class PerturbationSystem:
         )
         if self.nq > 0:
             psi = lo.psi_matrix(y)
-            eps = np.sqrt(self.q_nodes**2 + (a * self._x0) ** 2)
+            if eps is None:
+                eps = self.nu_eps(a)
             gdrho += 1.5 * self._gr_nu_rel * inv_a2 * float(
                 (self._w_rho * eps) @ psi[:, 0]
             )
@@ -221,7 +234,8 @@ class PerturbationSystem:
         etadot = gdq / self.k2
         return hdot, etadot, gdrho, gdq
 
-    def shear_sum(self, y: np.ndarray, a: float, sigma_g: float) -> float:
+    def shear_sum(self, y: np.ndarray, a: float, sigma_g: float,
+                  eps: np.ndarray | None = None) -> float:
         """4 pi G a^2 (rho + p) sigma summed over species [Mpc^-2].
 
         ``sigma_g`` is passed in because its value differs between the
@@ -235,7 +249,8 @@ class PerturbationSystem:
         ) * inv_a2
         if self.nq > 0:
             psi = lo.psi_matrix(y)
-            eps = np.sqrt(self.q_nodes**2 + (a * self._x0) ** 2)
+            if eps is None:
+                eps = self.nu_eps(a)
             gshear += 1.5 * self._gr_nu_rel * inv_a2 * (2.0 / 3.0) * float(
                 (self._w_q4 / eps) @ psi[:, 2]
             )
@@ -266,14 +281,15 @@ class PerturbationSystem:
         dnl[2] += (4.0 / 15.0) * hdot + (8.0 / 5.0) * etadot
         dnl[lm] = self.k * nl[lm - 1] - (lm + 1.0) / tau * nl[lm]
 
-    def _fill_massive_nu(self, y, dy, tau, a, hdot, etadot):
+    def _fill_massive_nu(self, y, dy, tau, a, hdot, etadot, eps=None):
         lo = self.layout
         if lo.nq == 0:
             return
         psi = lo.psi_matrix(y)
         dpsi = dy[lo.sl_psi].reshape(lo.nq, lo.lmax_massive_nu + 1)
         lm = lo.lmax_massive_nu
-        eps = np.sqrt(self.q_nodes**2 + (a * self._x0) ** 2)
+        if eps is None:
+            eps = self.nu_eps(a)
         qk_eps = self.k * self.q_nodes / eps  # (nq,)
         dpsi[:, 1:lm] = qk_eps[:, None] * (
             self._mnu_lo[1:lm] * psi[:, 0 : lm - 1]
@@ -297,9 +313,10 @@ class PerturbationSystem:
         kappa_dot = math.exp(self._ln_kap_spline(lna))
         cs2 = math.exp(self._ln_cs2_spline(lna))
         k = self.k
+        eps = self.nu_eps(a)
 
         dy[lo.A] = a * hc
-        hdot, etadot, _, _ = self._metric_sources(y, a, hc)
+        hdot, etadot, _, _ = self._metric_sources(y, a, hc, eps=eps)
         dy[lo.H] = hdot
         dy[lo.ETA] = etadot
 
@@ -342,7 +359,7 @@ class PerturbationSystem:
         dgg[lg] = k * gg[lg - 1] - (lg + 1.0) / tau * gg[lg] - kappa_dot * gg[lg]
 
         self._fill_neutrinos(y, dy, tau, hdot, etadot)
-        self._fill_massive_nu(y, dy, tau, a, hdot, etadot)
+        self._fill_massive_nu(y, dy, tau, a, hdot, etadot, eps=eps)
         return dy
 
     # ------------------------------------------------------------------
@@ -360,9 +377,10 @@ class PerturbationSystem:
         cs2 = math.exp(self._ln_cs2_spline(lna))
         k = self.k
         k2 = self.k2
+        eps = self.nu_eps(a)
 
         dy[lo.A] = a * hc
-        hdot, etadot, _, _ = self._metric_sources(y, a, hc)
+        hdot, etadot, _, _ = self._metric_sources(y, a, hc, eps=eps)
         dy[lo.H] = hdot
         dy[lo.ETA] = etadot
 
@@ -408,7 +426,7 @@ class PerturbationSystem:
         # entries are synchronized at the hand-off to the full RHS.
 
         self._fill_neutrinos(y, dy, tau, hdot, etadot)
-        self._fill_massive_nu(y, dy, tau, a, hdot, etadot)
+        self._fill_massive_nu(y, dy, tau, a, hdot, etadot, eps=eps)
         return dy
 
     # ------------------------------------------------------------------

@@ -19,7 +19,13 @@ import numpy as np
 from ..background import Background
 from ..errors import MessagePassingError, ProtocolError
 from ..linger.kgrid import KGrid
-from ..linger.serial import LingerConfig, LingerResult, compute_mode
+from ..linger.serial import (
+    LingerConfig,
+    LingerResult,
+    compute_mode,
+    compute_modes_batch,
+    dispatch_chunks,
+)
 from ..mp import get_backend
 from ..params import CosmologyParams
 from ..telemetry import NULL_TELEMETRY, Telemetry
@@ -49,13 +55,15 @@ class PlingerRunStats:
 
 
 def _worker_entry(mp_handle, background, thermo, kgrid, config,
-                  with_telemetry: bool = False):
+                  with_telemetry: bool = False, batched: bool = False):
     """Entry point for worker ranks (thread target / forked child).
 
     With telemetry on, the worker builds its own collector (forked
     children share no memory with the master) and publishes it —
     together with its traffic stats and busy/idle log — through the
-    world's out-of-band channel after the protocol completes.
+    world's out-of-band channel after the protocol completes.  With
+    ``batched`` on, multi-k WORK chunks integrate through the batched
+    engine instead of a per-mode loop.
     """
     telemetry = Telemetry() if with_telemetry else NULL_TELEMETRY
     mp_handle.initpass()
@@ -68,7 +76,18 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
         )
         return header, payload
 
-    log = worker_subroutine(mp_handle, compute)
+    def compute_chunk(iks: list[int]):
+        ks = [float(kgrid.k[ik - 1]) for ik in iks]
+        return [
+            (header, payload)
+            for header, payload, _ in compute_modes_batch(
+                background, thermo, ks, iks, config, telemetry=telemetry,
+            )
+        ]
+
+    log = worker_subroutine(
+        mp_handle, compute, compute_chunk=compute_chunk if batched else None
+    )
     if with_telemetry:
         mp_handle.publish_telemetry({
             "traffic": mp_handle.stats.as_dict(),
@@ -87,6 +106,7 @@ def run_plinger(
     background: Background | None = None,
     thermo: ThermalHistory | None = None,
     telemetry: Telemetry = NULL_TELEMETRY,
+    batch_size: int = 1,
 ) -> tuple[LingerResult, PlingerRunStats]:
     """Run PLINGER with ``nproc - 1`` workers plus the master.
 
@@ -94,9 +114,16 @@ def run_plinger(
     notes PVM allowed ("desirable because the master process requires
     little CPU time").
 
+    With ``batch_size > 1`` the master hands out k-*chunks* (equal-lmax
+    groups of up to that many modes, still largest-k-first) and each
+    worker integrates its chunk through the batched engine; results
+    ship back one header/payload pair per mode, so downstream consumers
+    see the identical wire records.
+
     Pass an enabled :class:`~repro.telemetry.Telemetry` to also gather
     per-tag message traffic for every rank, per-worker busy/idle time,
-    and each worker's per-mode integrator metrics.
+    and each worker's per-mode integrator metrics (plus per-chunk
+    batch occupancy when ``batch_size > 1``).
     """
     if nproc < 2:
         raise MessagePassingError("PLINGER needs at least 1 worker (nproc >= 2)")
@@ -108,6 +135,14 @@ def run_plinger(
         )
     background = background or Background(params)
     thermo = thermo or ThermalHistory(background)
+    if batch_size < 1:
+        raise ProtocolError("batch_size must be >= 1")
+    chunks = None
+    if batch_size > 1:
+        tau_end = (background.tau0 if config.tau_end is None
+                   else config.tau_end)
+        chunks = dispatch_chunks(kgrid, config, tau_end, batch_size)
+    batched = batch_size > 1
 
     world = get_backend(backend, nproc)
     master_mp = world.handle(0)
@@ -115,13 +150,13 @@ def run_plinger(
     wall0 = time.perf_counter()
     if backend == "procs":
         world.launch(_worker_entry, background, thermo, kgrid, config,
-                     telemetry.enabled)
+                     telemetry.enabled, batched)
     elif backend == "inprocess":
         threads = [
             threading.Thread(
                 target=_worker_entry,
                 args=(world.handle(r), background, thermo, kgrid, config,
-                      telemetry.enabled),
+                      telemetry.enabled, batched),
                 daemon=True,
             )
             for r in range(1, nproc)
@@ -134,7 +169,7 @@ def run_plinger(
         )
 
     master_mp.initpass()
-    log = master_subroutine(master_mp, kgrid)
+    log = master_subroutine(master_mp, kgrid, chunks=chunks)
     master_mp.endpass()
 
     if backend == "procs":
@@ -151,6 +186,8 @@ def run_plinger(
         telemetry.meta.setdefault("backend", backend)
         telemetry.meta.setdefault("nproc", nproc)
         telemetry.meta.setdefault("nk", kgrid.nk)
+        if batch_size > 1:
+            telemetry.meta.setdefault("batch_size", batch_size)
         telemetry.timer("plinger.wall").add(wall)
         telemetry.timer("master.probe_wait").add(
             log.probe_wait_seconds, count=len(log.headers)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -49,6 +49,7 @@ def master_subroutine(
     kgrid: KGrid,
     init_data: np.ndarray | None = None,
     on_result: Callable[[ModeHeader, ModePayload], None] | None = None,
+    chunks: Sequence[Sequence[int]] | None = None,
 ) -> MasterLog:
     """Run the master side of the PLINGER protocol to completion.
 
@@ -60,15 +61,35 @@ def master_subroutine(
         The wavenumber grid with its dispatch ordering.
     init_data:
         The 5 reals broadcast as tag 1 (defaults to
-        ``[nk, k_min, k_max, 0, 0]``).
+        ``[nk, k_min, k_max, chunk, 0]``, where ``chunk`` is the WORK
+        message length when chunked dispatch is on and 0 — the
+        paper's wire format — for one-k-at-a-time dispatch).
     on_result:
         Invoked for every completed (header, payload) pair — the
         stand-in for the paper's ascii/binary file writes.
+    chunks:
+        Optional batched dispatch: a partition of the grid indices
+        (0-based, in dispatch order) into the k-chunks each WORK
+        message carries (see
+        :func:`~repro.linger.serial.dispatch_chunks`).  Every WORK and
+        STOP message is then ``max(len(chunk))`` reals, zero-padded,
+        and a worker earns its next chunk only after returning every
+        mode of the previous one.  ``None`` keeps the paper's protocol:
+        one wavenumber per WORK message.
     """
     nk = kgrid.nk
+    if chunks is None:
+        chunks = [[int(i)] for i in kgrid.dispatch_order]
+    else:
+        chunks = [list(map(int, c)) for c in chunks]
+        flat = sorted(i for c in chunks for i in c)
+        if flat != sorted(range(nk)):
+            raise ProtocolError("chunks must partition the k-grid indices")
+    work_length = max(len(c) for c in chunks)
     if init_data is None:
         init_data = np.array(
-            [float(nk), float(kgrid.k[0]), float(kgrid.k[-1]), 0.0, 0.0]
+            [float(nk), float(kgrid.k[0]), float(kgrid.k[-1]),
+             float(work_length if work_length > 1 else 0), 0.0]
         )
     init_data = np.asarray(init_data, dtype=float)
     if init_data.size != INIT_MESSAGE_LENGTH:
@@ -79,8 +100,9 @@ def master_subroutine(
     log = MasterLog()
     mp.mybcastreal(init_data, Tag.INIT)
 
-    next_slot = 0  # position in kgrid.dispatch_order
+    next_chunk = 0  # position in chunks
     ik_done = 0
+    pending: dict[int, int] = {}  # rank -> modes outstanding in its chunk
 
     while ik_done < nk or log.stops_sent < mp.nproc - 1:
         wait0 = time.perf_counter()
@@ -102,19 +124,32 @@ def master_subroutine(
             if on_result is not None:
                 on_result(header, payload)
             ik_done += 1
+            pending[itid] = pending.get(itid, 1) - 1
+            if pending[itid] > 0:
+                # mid-chunk: this rank owes more results before its
+                # next work (READY messages always earn a reply, as in
+                # the unchunked protocol — a duplicated READY from a
+                # transport retry must not stall the books)
+                continue
         else:
             raise ProtocolError(
                 f"master received unexpected tag {msgtype} from rank {itid}"
             )
 
         # reply to the worker that just spoke: more work, or stop
-        if next_slot < nk:
-            ik = int(kgrid.dispatch_order[next_slot]) + 1  # 1-based, as in F77
-            mp.mysendreal(np.array([float(ik)]), Tag.WORK, itid)
-            log.dispatched.append(ik)
-            next_slot += 1
+        buf = np.zeros(work_length)
+        if next_chunk < len(chunks):
+            iks = [i + 1 for i in chunks[next_chunk]]  # 1-based, as in F77
+            buf[: len(iks)] = iks
+            mp.mysendreal(buf, Tag.WORK, itid)
+            log.dispatched.extend(iks)
+            # set, not accumulate: a surplus result (duplicated-message
+            # fault) then drives the count negative and earns a reply,
+            # preserving the unchunked one-reply-per-message invariant
+            pending[itid] = len(iks)
+            next_chunk += 1
         else:
-            mp.mysendreal(np.array([0.0]), Tag.STOP, itid)
+            mp.mysendreal(buf, Tag.STOP, itid)
             log.stops_sent += 1
 
     return log

@@ -48,6 +48,9 @@ class WorkerLog:
 def worker_subroutine(
     mp: MessagePassing,
     compute: Callable[[int], tuple[ModeHeader, ModePayload]],
+    compute_chunk: Callable[
+        [list[int]], list[tuple[ModeHeader, ModePayload]]
+    ] | None = None,
 ) -> WorkerLog:
     """Run the worker side of the PLINGER protocol until told to stop.
 
@@ -56,6 +59,16 @@ def worker_subroutine(
     compute:
         ``compute(ik)`` integrates wavenumber index ``ik`` (1-based)
         and returns the two records to ship back.
+    compute_chunk:
+        Optional batched unit of work: ``compute_chunk(iks)`` integrates
+        a whole chunk at once and returns the record pairs in order.
+        Used when a WORK message carries more than one wavenumber;
+        without it the worker falls back to per-mode ``compute`` calls.
+
+    The init broadcast's fourth slot announces the WORK/STOP message
+    length (0 means the paper's one-k format); every mode of a chunk
+    ships back as its own header/payload pair, so the result wire
+    format is unchanged.
     """
     log = WorkerLog()
     mastid = mp.mastid
@@ -64,31 +77,36 @@ def worker_subroutine(
     wait0 = time.perf_counter()
     mp.mycheckone(Tag.INIT, mastid)
     log.init_data = mp.myrecvreal(INIT_MESSAGE_LENGTH, Tag.INIT, mastid)
+    work_length = max(1, int(round(log.init_data[3])))
 
     # ask for a wavenumber
     mp.mysendreal(np.array([0.0]), Tag.READY, mastid)
 
-    # receive next ik or a stop message
+    # receive next ik(s) or a stop message
     msgtype = mp.mychecktid(mastid)
-    buf = mp.myrecvreal(1, msgtype, mastid)
+    buf = mp.myrecvreal(work_length, msgtype, mastid)
     log.idle_seconds += time.perf_counter() - wait0
 
     while msgtype == Tag.WORK:
-        ik = int(round(buf[0]))
-        if ik < 1:
-            raise ProtocolError(f"worker received invalid ik={ik}")
+        iks = [int(round(v)) for v in buf if int(round(v)) != 0]
+        if not iks or any(ik < 1 for ik in iks):
+            raise ProtocolError(f"worker received invalid work chunk {iks}")
         busy0 = time.perf_counter()
-        header, payload = compute(ik)
-        if header.lmax != payload.lmax:
-            raise ProtocolError("header/payload lmax mismatch")
-        mp.mysendreal(header.pack(), Tag.HEADER, mastid)
-        mp.mysendreal(payload.pack(), Tag.PAYLOAD, mastid)
-        log.modes_done += 1
+        if compute_chunk is not None and len(iks) > 1:
+            records = compute_chunk(iks)
+        else:
+            records = [compute(ik) for ik in iks]
+        for header, payload in records:
+            if header.lmax != payload.lmax:
+                raise ProtocolError("header/payload lmax mismatch")
+            mp.mysendreal(header.pack(), Tag.HEADER, mastid)
+            mp.mysendreal(payload.pack(), Tag.PAYLOAD, mastid)
+            log.modes_done += 1
         log.busy_seconds += time.perf_counter() - busy0
 
         wait0 = time.perf_counter()
         msgtype = mp.mychecktid(mastid)
-        buf = mp.myrecvreal(1, msgtype, mastid)
+        buf = mp.myrecvreal(work_length, msgtype, mastid)
         log.idle_seconds += time.perf_counter() - wait0
 
     if msgtype != Tag.STOP:

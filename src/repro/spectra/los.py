@@ -134,6 +134,23 @@ class BesselCache:
         frac = xi - i
         return tab[i] * (1.0 - frac) + tab[i + 1] * frac
 
+    def table_matrix(self, l_values: np.ndarray) -> np.ndarray:
+        """The stacked (nl, nx) table for many multipoles at once."""
+        return np.stack([self.table(int(l)) for l in l_values])
+
+    def eval_many(self, l_values: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """j_l(x) for every requested l as one (nl, nx) matrix.
+
+        One fancy-index gather on the stacked table replaces the
+        per-multipole Python loop; the interpolation weights are shared
+        across rows.
+        """
+        tab = self.table_matrix(l_values)
+        xi = np.clip(x, 0.0, self.x_max + 3.0 * self.dx) / self.dx
+        i = xi.astype(int)
+        frac = xi - i
+        return tab[:, i] * (1.0 - frac) + tab[:, i + 1] * frac
+
 
 def theta_l_los(
     sources: list[SourceTable],
@@ -141,6 +158,10 @@ def theta_l_los(
     bessel: BesselCache | None = None,
 ) -> np.ndarray:
     """Theta_l(k) for every source table and multipole.
+
+    Per source the quadrature over all multipoles is one (nl, ntau)
+    matrix contraction against the stacked Bessel tables rather than a
+    Python loop over l.
 
     Returns an array of shape (nk, nl).
     """
@@ -152,8 +173,8 @@ def theta_l_los(
     for i, src in enumerate(sources):
         t, s = src.dense()
         x = src.k * (src.tau0 - t)
-        for j, l in enumerate(l_values):
-            out[i, j] = np.trapezoid(s * bessel.eval(int(l), x), t)
+        kernel = s * bessel.eval_many(l_values, x)  # (nl, ntau)
+        out[i] = np.trapezoid(kernel, t, axis=1)
     return out
 
 

@@ -16,6 +16,7 @@ from .core import NULL_TELEMETRY, NullTelemetry, Telemetry
 from .metrics import Counter, Histogram, Timer
 from .report import (
     SCHEMA,
+    BatchMetrics,
     ModeMetrics,
     RankTraffic,
     RunReport,
@@ -30,6 +31,7 @@ __all__ = [
     "Timer",
     "Histogram",
     "ModeMetrics",
+    "BatchMetrics",
     "RankTraffic",
     "WorkerMetrics",
     "RunReport",

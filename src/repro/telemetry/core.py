@@ -20,7 +20,13 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from .metrics import Counter, Histogram, Timer
-from .report import ModeMetrics, RankTraffic, RunReport, WorkerMetrics
+from .report import (
+    BatchMetrics,
+    ModeMetrics,
+    RankTraffic,
+    RunReport,
+    WorkerMetrics,
+)
 
 __all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
 
@@ -41,6 +47,7 @@ class Telemetry:
         self.timers: dict[str, Timer] = {}
         self.histograms: dict[str, Histogram] = {}
         self.modes: list[ModeMetrics] = []
+        self.batches: list[BatchMetrics] = []
         self.traffic: list[RankTraffic] = []
         self.workers: list[WorkerMetrics] = []
         self.meta: dict = {}
@@ -80,6 +87,12 @@ class Telemetry:
         mode = self.modes[-1]
         for name, value in kwargs.items():
             setattr(mode, name, value)
+
+    def record_batch(self, **kwargs) -> BatchMetrics | None:
+        """Append one per-chunk record from the batched integrator."""
+        batch = BatchMetrics(**kwargs)
+        self.batches.append(batch)
+        return batch
 
     def record_traffic(
         self,
@@ -121,6 +134,7 @@ class Telemetry:
 
         return {
             "modes": [asdict(m) for m in self.modes],
+            "batches": [asdict(b) for b in self.batches],
             "counters": {n: c.value for n, c in self.counters.items()},
             "timers": {n: t.as_dict() for n, t in self.timers.items()},
         }
@@ -129,6 +143,8 @@ class Telemetry:
         """Fold a :meth:`worker_payload` dict back into this collector."""
         for m in payload.get("modes", []):
             self.modes.append(ModeMetrics.from_dict(m))
+        for b in payload.get("batches", []):
+            self.batches.append(BatchMetrics.from_dict(b))
         for name, value in payload.get("counters", {}).items():
             self.count(name, value)
         for name, d in payload.get("timers", {}).items():
@@ -143,6 +159,7 @@ class Telemetry:
         return RunReport(
             meta=merged_meta,
             modes=list(self.modes),
+            batches=list(self.batches),
             traffic=list(self.traffic),
             workers=list(self.workers),
             counters={n: c.value for n, c in self.counters.items()},
@@ -204,6 +221,9 @@ class NullTelemetry(Telemetry):
 
     def annotate_last_mode(self, **kwargs) -> None:
         pass
+
+    def record_batch(self, **kwargs) -> None:  # type: ignore[override]
+        return None
 
     def record_traffic(self, rank, role, stats, tag_names=None) -> None:
         pass

@@ -19,6 +19,7 @@ from pathlib import Path
 __all__ = [
     "SCHEMA",
     "ModeMetrics",
+    "BatchMetrics",
     "RankTraffic",
     "WorkerMetrics",
     "RunReport",
@@ -56,6 +57,47 @@ class ModeMetrics:
 
     @classmethod
     def from_dict(cls, d: dict) -> "ModeMetrics":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
+class BatchMetrics:
+    """Lane-occupancy accounting of one batched k-chunk integration.
+
+    A *sweep* is one vectorized step attempt over the whole batch; a
+    *lane-slot* is one lane's share of a sweep — attempted while the
+    lane is active, idle once it has parked at its end time.  This is
+    an additive v1 extension: reports without a ``batches`` section
+    load unchanged.
+    """
+
+    n_lanes: int  #: modes integrated together in this chunk
+    k_min: float = 0.0
+    k_max: float = 0.0
+    n_sweeps: int = 0
+    lane_steps_attempted: int = 0
+    lane_steps_accepted: int = 0
+    lane_steps_rejected: int = 0
+    lane_slots_idle: int = 0
+    tca_wall_seconds: float = 0.0
+    full_wall_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of lane-slots that were active (not parked)."""
+        total = self.lane_steps_attempted + self.lane_slots_idle
+        return self.lane_steps_attempted / total if total else 0.0
+
+    @property
+    def wasted_step_fraction(self) -> float:
+        """Fraction of attempted lane-steps that were rejected."""
+        att = self.lane_steps_attempted
+        return self.lane_steps_rejected / att if att else 0.0
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BatchMetrics":
         names = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in d.items() if k in names})
 
@@ -119,6 +161,7 @@ class RunReport:
 
     meta: dict = field(default_factory=dict)
     modes: list[ModeMetrics] = field(default_factory=list)
+    batches: list[BatchMetrics] = field(default_factory=list)
     traffic: list[RankTraffic] = field(default_factory=list)
     workers: list[WorkerMetrics] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
@@ -137,6 +180,9 @@ class RunReport:
                 slot = msg_by_tag.setdefault(tag, {"count": 0, "bytes": 0})
                 slot["count"] += v["count"]
                 slot["bytes"] += v["bytes"]
+        att = sum(b.lane_steps_attempted for b in self.batches)
+        idle = sum(b.lane_slots_idle for b in self.batches)
+        rej = sum(b.lane_steps_rejected for b in self.batches)
         return {
             "n_modes": len(self.modes),
             "n_rhs": sum(m.n_rhs for m in self.modes),
@@ -148,6 +194,9 @@ class RunReport:
             "messages_sent_by_tag": msg_by_tag,
             "worker_busy_seconds": sum(w.busy_seconds for w in self.workers),
             "worker_idle_seconds": sum(w.idle_seconds for w in self.workers),
+            "n_batches": len(self.batches),
+            "lane_occupancy": att / (att + idle) if att + idle else 0.0,
+            "wasted_step_fraction": rej / att if att else 0.0,
         }
 
     # -- serialization ------------------------------------------------------
@@ -159,6 +208,7 @@ class RunReport:
             "meta": dict(self.meta),
             "totals": self.totals,
             "modes": [asdict(m) for m in self.modes],
+            "batches": [asdict(b) for b in self.batches],
             "traffic": [asdict(t) for t in self.traffic],
             "workers": [asdict(w) for w in self.workers],
             "counters": dict(self.counters),
@@ -177,6 +227,7 @@ class RunReport:
         return cls(
             meta=dict(d.get("meta", {})),
             modes=[ModeMetrics.from_dict(m) for m in d.get("modes", [])],
+            batches=[BatchMetrics.from_dict(b) for b in d.get("batches", [])],
             traffic=[RankTraffic.from_dict(t) for t in d.get("traffic", [])],
             workers=[WorkerMetrics.from_dict(w) for w in d.get("workers", [])],
             counters=dict(d.get("counters", {})),
