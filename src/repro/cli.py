@@ -70,6 +70,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--backend", choices=["inprocess", "procs"],
                        default="procs",
                        help="PLINGER transport (with --parallel)")
+    p_run.add_argument("--worker-timeout", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="enable fault-tolerant scheduling: declare a "
+                            "silent worker dead after this many seconds and "
+                            "reassign its wavenumbers (0 = the paper's "
+                            "fail-loudly protocol)")
+    p_run.add_argument("--max-retries", type=int, default=3, metavar="N",
+                       help="bound on re-dispatches per wavenumber "
+                            "(with --worker-timeout)")
+    p_run.add_argument("--heartbeat-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="worker liveness heartbeat cadence; lets the "
+                            "master tell busy from dead without waiting the "
+                            "full worker timeout (with --worker-timeout; "
+                            "0 = off)")
     p_run.add_argument("--report", metavar="PATH", default=None,
                        help="enable run telemetry and write the JSON "
                             "RunReport here")
@@ -125,15 +140,31 @@ def cmd_run(args) -> int:
         keep_mode_results=False,
     )
     telemetry = Telemetry() if args.report else NULL_TELEMETRY
+    fault_tolerance = None
+    if args.worker_timeout > 0:
+        from .plinger import FaultTolerance
+
+        fault_tolerance = FaultTolerance(
+            worker_timeout=args.worker_timeout,
+            max_retries=args.max_retries,
+            heartbeat_interval=args.heartbeat_interval,
+        )
     if args.parallel >= 2:
         result, stats = run_plinger(params, kgrid, config,
                                     nproc=args.parallel,
                                     backend=args.backend,
                                     telemetry=telemetry,
-                                    batch_size=args.batch_size)
+                                    batch_size=args.batch_size,
+                                    fault_tolerance=fault_tolerance)
         print(f"PLINGER: {kgrid.nk} modes on {args.parallel - 1} workers, "
               f"{stats.wall_seconds:.1f} s wallclock, "
               f"{stats.master_bytes_received} bytes gathered")
+        fr = stats.fault_report
+        if fr is not None and fr.any_faults:
+            print(f"fault tolerance: {len(fr.dead_workers)} dead workers, "
+                  f"{fr.reassigned_modes} modes reassigned, "
+                  f"{fr.total_retries} retries, "
+                  f"{len(fr.degraded_modes)} degraded modes")
     else:
         result = run_linger(params, kgrid, config, telemetry=telemetry,
                             batch_size=args.batch_size)
@@ -174,6 +205,14 @@ def _print_report_summary(report) -> None:
         rows.append(["lane occupancy", f"{totals['lane_occupancy']:.3f}"])
         rows.append(["wasted-step fraction",
                      f"{totals['wasted_step_fraction']:.3f}"])
+    if report.fault is not None:
+        fr = report.fault
+        rows.append(["dead workers", len(fr.dead_workers)])
+        rows.append(["modes reassigned", fr.reassigned_modes])
+        rows.append(["retries", fr.total_retries])
+        rows.append(["degraded modes", len(fr.degraded_modes)])
+        rows.append(["recovery wallclock [s]",
+                     f"{fr.recovery_wall_seconds:.3f}"])
     for tag, v in sorted(totals["messages_sent_by_tag"].items()):
         rows.append([f"messages {tag}", f"{v['count']} ({v['bytes']} B)"])
     print(format_table(["telemetry", "value"], rows, title="run report"))

@@ -53,6 +53,10 @@ class ModeHeader:
     cpu_seconds: float  #: worker CPU spent on this mode
     n_rhs: float  #: RHS evaluations (the cost-model observable)
     lmax: int  #: photon multipole cutoff (determines payload length)
+    #: escalation-ladder level the integration needed (0 = none).
+    #: Travels as a 22nd value on the fault-tolerant wire only; the
+    #: legacy 21-value pack/unpack below never sees it.
+    retry_level: int = 0
 
     def pack(self) -> np.ndarray:
         """Serialize to the 21-double wire format."""

@@ -50,6 +50,9 @@ class LingerConfig:
     lmax_massive_nu: int = 10
     rtol: float = 1e-5
     atol: float = 1e-9
+    #: forced initial step size (None lets the integrator choose); the
+    #: fault-tolerance escalation ladder tightens this on retry
+    first_step: float | None = None
     tca_eps: float = 0.01
     record_sources: bool = True
     keep_mode_results: bool = True
@@ -103,6 +106,7 @@ def compute_mode(
         record_tau=record_tau,
         rtol=config.rtol,
         atol=config.atol,
+        first_step=config.first_step,
         tca_eps=config.tca_eps,
         amplitude=config.amplitude,
         telemetry=telemetry,

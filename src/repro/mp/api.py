@@ -23,6 +23,7 @@ report the paper's message-economics table directly.
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -90,6 +91,10 @@ class MessagePassing(abc.ABC):
         self._mastid = mastid
         self._initialized = False
         self.stats = TrafficStats()
+        # sends may come from two threads of one rank (the worker main
+        # loop and its heartbeat thread); serialize them so the traffic
+        # counters stay exact
+        self._send_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -135,6 +140,15 @@ class MessagePassing(abc.ABC):
     def _consume(self, tag: int, source: int) -> Message:
         """Block until a matching message is pending; remove and return it."""
 
+    def _probe_deadline(
+        self, tag: int | None, source: int | None, timeout: float
+    ) -> Message | None:
+        """Block up to ``timeout`` seconds for a matching message; return
+        it without consuming, or ``None`` on timeout.  Backends override
+        this with a real timed wait; the base implementation degrades to
+        the blocking probe (no liveness)."""
+        return self._probe(tag, source)
+
     # -- the paper's routines -------------------------------------------------
 
     def mysendreal(self, buffer, msgtype: int, target: int) -> None:
@@ -143,8 +157,9 @@ class MessagePassing(abc.ABC):
         if not 0 <= target < self._nproc:
             raise MessagePassingError(f"invalid target rank {target}")
         msg = Message.make(self._rank, msgtype, buffer)
-        self.stats.note_send(msg)
-        self._deliver(target, msg)
+        with self._send_lock:
+            self.stats.note_send(msg)
+            self._deliver(target, msg)
 
     def mybcastreal(self, buffer, msgtype: int) -> None:
         """Send ``buffer`` to every other rank (the paper's send loop)."""
@@ -181,6 +196,40 @@ class MessagePassing(abc.ABC):
                 f"rank {self._rank}: expected {length} reals "
                 f"(tag {msgtype} from {target}), got {msg.length}"
             )
+        self.stats.note_recv(msg)
+        return msg.data.copy()
+
+    # -- liveness extensions (not in the paper) -------------------------------
+
+    def myprobe(
+        self,
+        msgtype: int | None = None,
+        source: int | None = None,
+        timeout: float = 0.0,
+    ) -> tuple[int, int] | None:
+        """Timed probe: wait up to ``timeout`` seconds for a matching
+        message and return its ``(tag, source)`` without consuming it,
+        or ``None`` if nothing matched in time.
+
+        This is the master's liveness primitive — unlike the paper's
+        blocking ``mycheck*`` routines it lets a scheduler notice that a
+        worker has gone silent instead of waiting forever.
+        """
+        self._require_init()
+        msg = self._probe_deadline(msgtype, source, float(timeout))
+        return None if msg is None else (msg.tag, msg.source)
+
+    def myrecvraw(self, msgtype: int, target: int) -> np.ndarray:
+        """Consume the first pending ``(msgtype, target)`` message and
+        return its payload *whatever its length*.
+
+        The strict-length :meth:`myrecvreal` is the protocol-checking
+        receive; this variant exists for fault-tolerant paths that must
+        be able to drain a corrupted or mis-sized message in order to
+        discard it instead of dying on it.
+        """
+        self._require_init()
+        msg = self._consume(msgtype, target)
         self.stats.note_recv(msg)
         return msg.data.copy()
 

@@ -15,6 +15,7 @@ performance transport.
 from __future__ import annotations
 
 import threading
+import time
 
 from ..api import MessagePassing, World
 from ..message import Message
@@ -43,8 +44,15 @@ class InProcessWorld(World):
             self._cond.notify_all()
 
     def find(self, rank: int, tag: int | None, source: int | None,
-             remove: bool, timeout: float | None = None) -> Message:
-        deadline = None
+             remove: bool, timeout: float | None = None,
+             soft: bool = False) -> Message | None:
+        """Locate (and optionally pop) the first matching message.
+
+        ``timeout=None`` blocks forever (with a periodic re-check so a
+        lost wakeup cannot deadlock).  With a timeout, expiry raises —
+        or returns ``None`` when ``soft`` is set, the liveness-probe
+        contract."""
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
         with self._cond:
             while True:
                 box = self._mailboxes[rank]
@@ -56,12 +64,17 @@ class InProcessWorld(World):
                     if remove:
                         return box.pop(i)
                     return msg
-                if not self._cond.wait(timeout=timeout or 60.0):
-                    if timeout is not None:
+                wait = 60.0
+                if deadline is not None:
+                    wait = deadline - time.monotonic()
+                    if wait <= 0.0:
+                        if soft:
+                            return None
                         raise MessagePassingError(
                             f"rank {rank}: probe timed out "
                             f"(tag={tag}, source={source})"
                         )
+                self._cond.wait(timeout=wait)
 
 
 class InProcessHandle(MessagePassing):
@@ -74,6 +87,10 @@ class InProcessHandle(MessagePassing):
 
     def _probe(self, tag: int | None, source: int | None) -> Message:
         return self._world.find(self._rank, tag, source, remove=False)
+
+    def _probe_deadline(self, tag, source, timeout: float) -> Message | None:
+        return self._world.find(self._rank, tag, source, remove=False,
+                                timeout=timeout, soft=True)
 
     def _consume(self, tag: int, source: int) -> Message:
         return self._world.find(self._rank, tag, source, remove=True)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import time
 from typing import Callable
 
 import numpy as np
@@ -54,14 +55,32 @@ class ProcsWorld(World):
             proc.start()
             self._children.append(proc)
 
-    def join(self, timeout: float | None = None) -> None:
+    def join(self, timeout: float | None = None, strict: bool = True) -> None:
+        """Join the forked workers.
+
+        ``strict`` (the default) treats a straggler as a protocol
+        failure; fault-tolerant runs pass ``strict=False`` so that a
+        quarantined-but-hung worker is simply terminated — its work has
+        already been reassigned.
+        """
+        stragglers = 0
         for proc in self._children:
             proc.join(timeout)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(5.0)
-                raise MessagePassingError("worker process failed to exit")
+                stragglers += 1
         self._children.clear()
+        if stragglers and strict:
+            raise MessagePassingError("worker process failed to exit")
+
+    def child_pid(self, rank: int) -> int | None:
+        """PID of the forked child running ``rank`` (chaos tests kill
+        real processes through this)."""
+        idx = rank - 1
+        if 0 <= idx < len(self._children):
+            return self._children[idx].pid
+        return None
 
     def collect_telemetry(self) -> dict[int, dict]:
         """Drain child-published telemetry blobs (call after join)."""
@@ -86,23 +105,31 @@ class ProcsHandle(MessagePassing):
         self._pending: list[Message] = []
 
     def _deliver(self, target: int, msg: Message) -> None:
-        self._world._queues[target].put((msg.source, msg.tag, msg.data))
+        self._world._queues[target].put(
+            (msg.source, msg.tag, msg.data, msg.sent_unix)
+        )
 
-    def _drain_one(self, block: bool) -> bool:
-        """Pull one raw message from the queue into the pending list."""
+    def _drain_one(self, block: bool, timeout: float | None = None,
+                   soft: bool = False) -> bool:
+        """Pull one raw message from the queue into the pending list.
+
+        ``soft`` blocking returns False on timeout instead of raising
+        (the liveness-probe contract)."""
+        if block and timeout is None:
+            timeout = self._world._timeout
         try:
-            src, tag, data = self._world._queues[self._rank].get(
-                block=block, timeout=self._world._timeout if block else None
+            src, tag, data, sent = self._world._queues[self._rank].get(
+                block=block, timeout=timeout if block else None
             )
         except queue_mod.Empty:
-            if block:
+            if block and not soft:
                 raise MessagePassingError(
-                    f"rank {self._rank}: probe timed out after "
-                    f"{self._world._timeout}s"
+                    f"rank {self._rank}: probe timed out after {timeout}s"
                 )
             return False
         self._pending.append(Message(source=src, tag=tag,
-                                     data=np.asarray(data, dtype=float)))
+                                     data=np.asarray(data, dtype=float),
+                                     sent_unix=sent))
         return True
 
     def _scan(self, tag, source, remove):
@@ -126,6 +153,19 @@ class ProcsHandle(MessagePassing):
             if found is not None:
                 return found
             self._drain_one(block=True)
+
+    def _probe_deadline(self, tag, source, timeout: float) -> Message | None:
+        deadline = time.monotonic() + timeout
+        while True:
+            while self._drain_one(block=False):
+                pass
+            found = self._scan(tag, source, remove=False)
+            if found is not None:
+                return found
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                return None
+            self._drain_one(block=True, timeout=remaining, soft=True)
 
     def _consume(self, tag: int, source: int) -> Message:
         self._probe(tag, source)

@@ -8,6 +8,7 @@ never corrupt a message in flight.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,16 +18,27 @@ __all__ = ["Message"]
 
 @dataclass(frozen=True)
 class Message:
-    """One tagged message of double-precision values."""
+    """One tagged message of double-precision values.
+
+    ``sent_unix`` is stamped at :meth:`make` time; the liveness layer
+    uses it to measure in-flight age (a 0.0 means "unstamped", kept for
+    messages reconstructed by fault-injecting transports).
+    """
 
     source: int
     tag: int
     data: np.ndarray
+    sent_unix: float = 0.0
 
     @classmethod
     def make(cls, source: int, tag: int, data) -> "Message":
         arr = np.array(data, dtype=float, copy=True).ravel()
-        return cls(source=source, tag=int(tag), data=arr)
+        return cls(source=source, tag=int(tag), data=arr,
+                   sent_unix=time.time())
+
+    def age_seconds(self) -> float:
+        """Seconds since the message was stamped (0.0 if unstamped)."""
+        return time.time() - self.sent_unix if self.sent_unix else 0.0
 
     @property
     def length(self) -> int:

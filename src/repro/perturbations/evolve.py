@@ -253,6 +253,7 @@ def evolve_mode(
     record_tau: np.ndarray | None = None,
     rtol: float = 1e-5,
     atol: float = 1e-9,
+    first_step: float | None = None,
     tca_eps: float = 0.01,
     amplitude: float = 1.0,
     initial_conditions: str = "adiabatic",
@@ -317,7 +318,8 @@ def evolve_mode(
     # Phase 1: tight coupling ------------------------------------------
     wall0 = time.perf_counter() if telemetry.enabled else 0.0
     stops1 = record_tau[record_tau <= t_switch]
-    drv1 = driver_cls(system.rhs_tca, rtol=rtol, atol=atol, max_steps=max_steps)
+    drv1 = driver_cls(system.rhs_tca, rtol=rtol, atol=atol,
+                      max_steps=max_steps, first_step=first_step)
     recorder.tight = True
     res1 = drv1.integrate(
         y0, t_init, t_switch,
@@ -332,7 +334,8 @@ def evolve_mode(
     # Phase 2: full hierarchy ------------------------------------------
     recorder.tight = False
     stops2 = record_tau[record_tau > t_switch]
-    drv2 = driver_cls(system.rhs_full, rtol=rtol, atol=atol, max_steps=max_steps)
+    drv2 = driver_cls(system.rhs_full, rtol=rtol, atol=atol,
+                      max_steps=max_steps, first_step=first_step)
     res2 = drv2.integrate(
         y, t_switch, tau_end,
         stop_points=stops2,

@@ -6,12 +6,20 @@ message-passing wrapper API: the master broadcasts the run setup
 work (tag 3) or stop (tag 6), and each completed mode comes back as a
 21-value header (tag 4) followed by a ``2 lmax + 8``-value multipole
 payload (tag 5).  Work is handed out largest-k-first.
+
+Passing a :class:`FaultTolerance` policy anywhere in this package
+switches from the paper's fail-loudly protocol to a resilient one:
+worker liveness via heartbeats (tag 7) and deadlines, quarantine and
+work reassignment with bounded retries, an integration escalation
+ladder, and full fault accounting in a
+:class:`~repro.telemetry.report.FaultReport`.
 """
 
 from .tags import Tag
 from .checkpoint import ModeJournal, run_plinger_checkpointed
 from .driver import PlingerRunStats, run_plinger
 from .master import master_subroutine
+from .resilience import FaultTolerance
 from .worker import worker_subroutine
 
 __all__ = [
@@ -20,6 +28,7 @@ __all__ = [
     "run_plinger_checkpointed",
     "ModeJournal",
     "PlingerRunStats",
+    "FaultTolerance",
     "master_subroutine",
     "worker_subroutine",
 ]

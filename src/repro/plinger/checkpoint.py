@@ -14,6 +14,7 @@ spirit of LINGER's ascii/binary output pair, merged for atomicity).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -39,10 +40,20 @@ class ModeJournal:
         p = " ".join(f"{v:.17e}" for v in payload.pack())
         with open(self.path, "a") as fh:
             fh.write(h + " | " + p + "\n")
+            # a mode is only as durable as the OS makes it: push the
+            # line through the page cache before the master moves on,
+            # so a crash can tear at most the line being written
+            fh.flush()
+            os.fsync(fh.fileno())
 
     def replay(self) -> dict[int, tuple[ModeHeader, ModePayload]]:
-        """Read back every *complete* journal line; truncated trailing
-        lines (a crash mid-write) are ignored."""
+        """Read back every *complete* journal line.
+
+        A crashed writer can leave a short, garbled, or non-numeric
+        tail; any line that does not survive strict parsing and
+        finiteness validation is skipped (the mode is simply
+        recomputed), never fatal.
+        """
         done: dict[int, tuple[ModeHeader, ModePayload]] = {}
         if not self.path.exists():
             return done
@@ -52,11 +63,23 @@ class ModeJournal:
             left, right = line.split("|", 1)
             try:
                 hvals = np.array([float(v) for v in left.split()])
-                header = ModeHeader.unpack(hvals)
                 pvals = np.array([float(v) for v in right.split()])
+                # Only the structural fields must be finite: a real
+                # header may carry NaN in a physics slot (e.g.
+                # delta_nu_massive with no massive neutrinos), but
+                # "inf"/"nan" in the ik/lmax slots or anywhere in the
+                # payload can never be a real mode.
+                if hvals.size != HEADER_LENGTH:
+                    continue
+                if not (np.isfinite(hvals[0]) and np.isfinite(hvals[-1])
+                        and np.all(np.isfinite(pvals))):
+                    continue
+                header = ModeHeader.unpack(hvals)
                 payload = ModePayload.unpack(pvals, header.lmax)
-            except (ValueError, ProtocolError):
+            except (ValueError, OverflowError, ProtocolError):
                 continue  # torn write at the tail
+            if not 1 <= header.ik <= 10**9 or header.lmax < 0:
+                continue
             done[header.ik] = (header, payload)
         return done
 
@@ -70,12 +93,18 @@ def run_plinger_checkpointed(
     backend: str = "inprocess",
     background=None,
     thermo=None,
+    fault_tolerance=None,
 ) -> tuple[LingerResult, int]:
     """PLINGER with a completion journal; resumable.
 
     Returns (result, n_resumed): how many modes were recovered from the
     journal instead of recomputed.  The k-grid and configuration must
     match the original run (the journal stores ik indices).
+
+    ``fault_tolerance`` is forwarded to :func:`run_plinger`: combined
+    with the journal this is the full belt-and-braces story — in-run
+    faults are recovered live, and a crash of the whole job resumes
+    from the last fsync'd mode.
     """
     from .driver import run_plinger
 
@@ -99,6 +128,7 @@ def run_plinger_checkpointed(
         sub_result, _ = run_plinger(
             params, sub_grid, config, nproc=nproc, backend=backend,
             background=background, thermo=thermo,
+            fault_tolerance=fault_tolerance,
         )
         # journal the fresh completions with their *original* ik
         for local_i, orig_i in enumerate(remaining_idx):

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..background import Background
-from ..errors import MessagePassingError, ProtocolError
+from ..errors import IntegrationError, MessagePassingError, ProtocolError
 from ..linger.kgrid import KGrid
 from ..linger.serial import (
     LingerConfig,
@@ -27,12 +27,15 @@ from ..linger.serial import (
     dispatch_chunks,
 )
 from ..mp import get_backend
+from ..mp.api import World
 from ..params import CosmologyParams
 from ..telemetry import NULL_TELEMETRY, Telemetry
+from ..telemetry.report import FaultReport
 from ..thermo import ThermalHistory
 from .master import master_subroutine
+from .resilience import FaultTolerance, run_with_ladder
 from .tags import Tag
-from .worker import worker_subroutine
+from .worker import WorkerLog, worker_subroutine
 
 __all__ = ["PlingerRunStats", "run_plinger"]
 
@@ -52,10 +55,13 @@ class PlingerRunStats:
     master_messages_received: int
     master_messages_sent: int
     worker_cpu_seconds: np.ndarray  #: per-mode CPU, ascending-k order
+    #: fault-tolerance accounting; None on legacy (fail-loudly) runs
+    fault_report: FaultReport | None = None
 
 
 def _worker_entry(mp_handle, background, thermo, kgrid, config,
-                  with_telemetry: bool = False, batched: bool = False):
+                  with_telemetry: bool = False, batched: bool = False,
+                  fault_tolerance: FaultTolerance | None = None):
     """Entry point for worker ranks (thread target / forked child).
 
     With telemetry on, the worker builds its own collector (forked
@@ -64,31 +70,73 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
     world's out-of-band channel after the protocol completes.  With
     ``batched`` on, multi-k WORK chunks integrate through the batched
     engine instead of a per-mode loop.
+
+    Under a fault-tolerance policy the compute path degrades gracefully:
+    an :class:`~repro.errors.IntegrationError` walks the escalation
+    ladder (and a failing batched chunk falls back to serial per-mode
+    integration), with the downgrade reported in the result header; a
+    transport failure (e.g. this rank was declared dead and dismissed)
+    ends the worker cleanly instead of crashing the process.
     """
+    ft = fault_tolerance
+    ladder = ft is not None and ft.integration_retries
     telemetry = Telemetry() if with_telemetry else NULL_TELEMETRY
     mp_handle.initpass()
 
-    def compute(ik: int):
+    def attempt_mode(ik: int, cfg):
         k = float(kgrid.k[ik - 1])
         header, payload, _ = compute_mode(
-            background, thermo, k, ik=ik, config=config,
+            background, thermo, k, ik=ik, config=cfg,
             telemetry=telemetry,
         )
         return header, payload
 
+    def compute(ik: int):
+        if not ladder:
+            return attempt_mode(ik, config)
+        (header, payload), level = run_with_ladder(
+            config, lambda cfg: attempt_mode(ik, cfg)
+        )
+        if level:
+            header = replace(header, retry_level=level)
+        return header, payload
+
     def compute_chunk(iks: list[int]):
         ks = [float(kgrid.k[ik - 1]) for ik in iks]
-        return [
-            (header, payload)
-            for header, payload, _ in compute_modes_batch(
-                background, thermo, ks, iks, config, telemetry=telemetry,
-            )
-        ]
+        try:
+            return [
+                (header, payload)
+                for header, payload, _ in compute_modes_batch(
+                    background, thermo, ks, iks, config, telemetry=telemetry,
+                )
+            ]
+        except IntegrationError:
+            if not ladder:
+                raise
+            # a lane failed: integrate the chunk serially, mode by mode,
+            # each through the escalation ladder; retry_level >= 1 marks
+            # the batched -> serial downgrade even when the serial
+            # level-0 attempt succeeds
+            out = []
+            for ik in iks:
+                (header, payload), level = run_with_ladder(
+                    config, lambda cfg, _ik=ik: attempt_mode(_ik, cfg)
+                )
+                out.append((replace(header, retry_level=max(level, 1)),
+                            payload))
+            return out
 
-    log = worker_subroutine(
-        mp_handle, compute, compute_chunk=compute_chunk if batched else None
-    )
-    if with_telemetry:
+    try:
+        log = worker_subroutine(
+            mp_handle, compute,
+            compute_chunk=compute_chunk if batched else None,
+            fault_tolerance=ft,
+        )
+    except (MessagePassingError, ProtocolError):
+        if ft is None:
+            raise
+        log = WorkerLog()
+    if with_telemetry or ft is not None:
         mp_handle.publish_telemetry({
             "traffic": mp_handle.stats.as_dict(),
             "worker": log.as_dict(),
@@ -107,6 +155,8 @@ def run_plinger(
     thermo: ThermalHistory | None = None,
     telemetry: Telemetry = NULL_TELEMETRY,
     batch_size: int = 1,
+    fault_tolerance: FaultTolerance | None = None,
+    world: World | None = None,
 ) -> tuple[LingerResult, PlingerRunStats]:
     """Run PLINGER with ``nproc - 1`` workers plus the master.
 
@@ -124,6 +174,17 @@ def run_plinger(
     per-tag message traffic for every rank, per-worker busy/idle time,
     and each worker's per-mode integrator metrics (plus per-chunk
     batch occupancy when ``batch_size > 1``).
+
+    Pass a :class:`~repro.plinger.resilience.FaultTolerance` to run
+    resiliently: dead workers are detected and quarantined, their
+    wavenumbers reassigned with bounded retries, failing integrations
+    walk an escalation ladder, and the accounting lands in
+    ``stats.fault_report`` (and the telemetry report's ``fault``
+    section).  ``world`` substitutes a pre-built transport — e.g. a
+    :class:`~repro.mp.backends.faulty.FaultyWorld` for chaos testing —
+    in place of ``get_backend(backend, nproc)``; ``backend`` then only
+    selects how workers are hosted (threads unless the world can
+    ``launch`` forked children).
     """
     if nproc < 2:
         raise MessagePassingError("PLINGER needs at least 1 worker (nproc >= 2)")
@@ -144,19 +205,26 @@ def run_plinger(
         chunks = dispatch_chunks(kgrid, config, tau_end, batch_size)
     batched = batch_size > 1
 
-    world = get_backend(backend, nproc)
+    if world is None:
+        world = get_backend(backend, nproc)
+    if world.nproc != nproc:
+        raise MessagePassingError(
+            f"world has {world.nproc} ranks, expected nproc={nproc}"
+        )
     master_mp = world.handle(0)
+    forked = hasattr(world, "launch")
+    ft = fault_tolerance
 
     wall0 = time.perf_counter()
-    if backend == "procs":
+    if forked:
         world.launch(_worker_entry, background, thermo, kgrid, config,
-                     telemetry.enabled, batched)
-    elif backend == "inprocess":
+                     telemetry.enabled, batched, ft)
+    elif backend in ("inprocess", "procs"):
         threads = [
             threading.Thread(
                 target=_worker_entry,
                 args=(world.handle(r), background, thermo, kgrid, config,
-                      telemetry.enabled, batched),
+                      telemetry.enabled, batched, ft),
                 daemon=True,
             )
             for r in range(1, nproc)
@@ -169,17 +237,27 @@ def run_plinger(
         )
 
     master_mp.initpass()
-    log = master_subroutine(master_mp, kgrid, chunks=chunks)
+    log = master_subroutine(master_mp, kgrid, chunks=chunks,
+                            fault_tolerance=ft)
     master_mp.endpass()
 
-    if backend == "procs":
-        world.join(timeout=60.0)
+    if forked:
+        # under fault tolerance a quarantined-but-hung child is simply
+        # terminated: its work has already been reassigned
+        world.join(timeout=60.0, strict=ft is None)
     else:
         for t in threads:
             t.join(timeout=60.0)
-            if t.is_alive():
+            if t.is_alive() and ft is None:
                 raise MessagePassingError("worker thread failed to exit")
     wall = time.perf_counter() - wall0
+
+    if ft is not None and log.fault is not None:
+        # fold worker-side retry accounting into the fault report
+        for _rank, payload in sorted(world.collect_telemetry().items()):
+            w = payload.get("worker", {})
+            if w.get("ready_retries"):
+                log.fault.bump_retry("READY", int(w["ready_retries"]))
 
     if telemetry.enabled:
         telemetry.meta.setdefault("driver", "plinger")
@@ -188,6 +266,9 @@ def run_plinger(
         telemetry.meta.setdefault("nk", kgrid.nk)
         if batch_size > 1:
             telemetry.meta.setdefault("batch_size", batch_size)
+        if ft is not None:
+            telemetry.meta.setdefault("fault_tolerance", True)
+            telemetry.fault = log.fault
         telemetry.timer("plinger.wall").add(wall)
         telemetry.timer("master.probe_wait").add(
             log.probe_wait_seconds, count=len(log.headers)
@@ -236,5 +317,6 @@ def run_plinger(
         master_messages_received=master_mp.stats.messages_received,
         master_messages_sent=master_mp.stats.messages_sent,
         worker_cpu_seconds=result.cpu_seconds,
+        fault_report=log.fault,
     )
     return result, stats

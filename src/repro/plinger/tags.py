@@ -1,14 +1,23 @@
-"""The PLINGER message tags (paper §7.2, verbatim)."""
+"""The PLINGER message tags (paper §7.2, plus the liveness extension)."""
 
 from __future__ import annotations
 
 from enum import IntEnum
 
-__all__ = ["Tag"]
+__all__ = ["Tag", "HEARTBEAT_LENGTH"]
+
+#: A heartbeat carries one real: the sender's running beat count.
+HEARTBEAT_LENGTH = 1
 
 
 class Tag(IntEnum):
-    """Each message carries a tag which reveals its function."""
+    """Each message carries a tag which reveals its function.
+
+    Tags 1-6 are the paper's, verbatim.  HEARTBEAT is a liveness
+    extension: workers emit it on a timer so the fault-tolerant master
+    can tell a busy worker from a dead one; it earns no reply, so the
+    paper's one-reply-per-message accounting of tags 1-6 is untouched.
+    """
 
     #: first message from master to workers (run setup broadcast)
     INIT = 1
@@ -22,3 +31,5 @@ class Tag(IntEnum):
     PAYLOAD = 5
     #: from master; telling worker to stop
     STOP = 6
+    #: from worker; periodic liveness signal (never replied to)
+    HEARTBEAT = 7

@@ -3,6 +3,12 @@
 Receive the setup broadcast, ask for a wavenumber, then loop:
 integrate the mode, ship the 21-value header and the ``2 lmax + 8``
 payload back, and wait for the next wavenumber or a stop message.
+
+With a :class:`~repro.plinger.resilience.FaultTolerance` policy the
+worker becomes resilient: it heartbeats on a timer, waits on the master
+with a deadline, and re-sends READY (with exponential backoff, bounded
+by the retry budget) when a reply goes missing — which re-earns its
+current assignment from the fault-tolerant master.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from ..errors import ProtocolError
 from ..linger.records import ModeHeader, ModePayload
 from ..mp.api import MessagePassing
 from .master import INIT_MESSAGE_LENGTH
+from .resilience import FaultTolerance, HeartbeatThread
 from .tags import Tag
 
 __all__ = ["WorkerLog", "worker_subroutine"]
@@ -30,18 +37,25 @@ class WorkerLog:
     ``idle_seconds`` is wallclock spent blocked on the master (waiting
     for the setup broadcast, a wavenumber, or the stop message) — the
     quantity the largest-k-first schedule is designed to minimize.
+    The last three fields are populated only by fault-tolerant runs.
     """
 
     modes_done: int = 0
     init_data: np.ndarray | None = None
     busy_seconds: float = 0.0
     idle_seconds: float = 0.0
+    ready_retries: int = 0  #: READY re-sends after a missing reply
+    bad_work_messages: int = 0  #: WORK messages that failed validation
+    heartbeats_sent: int = 0
 
     def as_dict(self) -> dict:
         return {
             "modes_done": self.modes_done,
             "busy_seconds": self.busy_seconds,
             "idle_seconds": self.idle_seconds,
+            "ready_retries": self.ready_retries,
+            "bad_work_messages": self.bad_work_messages,
+            "heartbeats_sent": self.heartbeats_sent,
         }
 
 
@@ -51,6 +65,7 @@ def worker_subroutine(
     compute_chunk: Callable[
         [list[int]], list[tuple[ModeHeader, ModePayload]]
     ] | None = None,
+    fault_tolerance: FaultTolerance | None = None,
 ) -> WorkerLog:
     """Run the worker side of the PLINGER protocol until told to stop.
 
@@ -69,8 +84,16 @@ def worker_subroutine(
     length (0 means the paper's one-k format); every mode of a chunk
     ships back as its own header/payload pair, so the result wire
     format is unchanged.
+
+    ``fault_tolerance`` switches to the resilient loop (heartbeats,
+    deadlines, READY retry ladder, length-agnostic receives); ``None``
+    keeps the paper's fail-loudly worker exactly.
     """
     log = WorkerLog()
+    if fault_tolerance is not None:
+        return _worker_fault_tolerant(
+            mp, compute, compute_chunk, fault_tolerance, log
+        )
     mastid = mp.mastid
 
     # receive initial data from master (idle until it arrives)
@@ -111,4 +134,103 @@ def worker_subroutine(
 
     if msgtype != Tag.STOP:
         raise ProtocolError(f"worker expected WORK or STOP, got tag {msgtype}")
+    return log
+
+
+def _parse_work(buf: np.ndarray) -> list[int] | None:
+    """Decode a WORK message defensively: zero is padding; anything
+    non-integral, negative, or non-finite marks the whole message
+    corrupt (None), which the caller heals by re-sending READY."""
+    iks: list[int] = []
+    for v in np.asarray(buf, dtype=float):
+        if not np.isfinite(v) or abs(v - round(v)) > 1e-6:
+            return None
+        iv = int(round(v))
+        if iv < 0:
+            return None
+        if iv != 0:
+            iks.append(iv)
+    return iks if iks else None
+
+
+def _worker_fault_tolerant(
+    mp: MessagePassing,
+    compute,
+    compute_chunk,
+    ft: FaultTolerance,
+    log: WorkerLog,
+) -> WorkerLog:
+    """The resilient worker loop.
+
+    Differences from the paper's loop: receives are length-agnostic
+    (a lost INIT broadcast is survivable because WORK parsing does not
+    need the announced message length), every wait on the master has a
+    deadline, and a missing reply is healed by re-sending READY — the
+    fault-tolerant master answers that with the worker's current
+    assignment, so at-least-once delivery of results is preserved.
+    """
+    mastid = mp.mastid
+    heartbeat = HeartbeatThread(mp, mastid, ft.heartbeat_interval).start()
+    try:
+        wait0 = time.perf_counter()
+        if mp.myprobe(Tag.INIT, mastid, timeout=ft.worker_timeout) is not None:
+            log.init_data = mp.myrecvraw(Tag.INIT, mastid)
+
+        mp.mysendreal(np.array([0.0]), Tag.READY, mastid)
+        attempts = 0
+        while True:
+            probed = mp.myprobe(source=mastid, timeout=ft.worker_timeout)
+            if probed is None:
+                attempts += 1
+                if attempts > ft.max_retries:
+                    raise ProtocolError(
+                        f"worker {mp.mytid} gave up: master silent through "
+                        f"{attempts - 1} READY retries"
+                    )
+                time.sleep(min(ft.backoff_base * 2 ** (attempts - 1), 1.0))
+                mp.mysendreal(np.array([0.0]), Tag.READY, mastid)
+                log.ready_retries += 1
+                continue
+
+            tag, _src = probed
+            if tag == Tag.INIT:
+                # a late (or re-delivered) setup broadcast
+                log.init_data = mp.myrecvraw(Tag.INIT, mastid)
+                continue
+            if tag == Tag.STOP:
+                mp.myrecvraw(Tag.STOP, mastid)
+                log.idle_seconds += time.perf_counter() - wait0
+                break
+            if tag != Tag.WORK:
+                mp.myrecvraw(tag, mastid)
+                continue
+
+            attempts = 0
+            buf = mp.myrecvraw(Tag.WORK, mastid)
+            log.idle_seconds += time.perf_counter() - wait0
+            iks = _parse_work(buf)
+            if iks is None:
+                log.bad_work_messages += 1
+                mp.mysendreal(np.array([0.0]), Tag.READY, mastid)
+                log.ready_retries += 1
+                wait0 = time.perf_counter()
+                continue
+
+            busy0 = time.perf_counter()
+            if compute_chunk is not None and len(iks) > 1:
+                records = compute_chunk(iks)
+            else:
+                records = [compute(ik) for ik in iks]
+            for header, payload in records:
+                if header.lmax != payload.lmax:
+                    raise ProtocolError("header/payload lmax mismatch")
+                wire = np.append(header.pack(), float(header.retry_level))
+                mp.mysendreal(wire, Tag.HEADER, mastid)
+                mp.mysendreal(payload.pack(), Tag.PAYLOAD, mastid)
+                log.modes_done += 1
+            log.busy_seconds += time.perf_counter() - busy0
+            wait0 = time.perf_counter()
+    finally:
+        heartbeat.stop()
+        log.heartbeats_sent = heartbeat.beats
     return log

@@ -17,6 +17,7 @@ from .metrics import Counter, Histogram, Timer
 from .report import (
     SCHEMA,
     BatchMetrics,
+    FaultReport,
     ModeMetrics,
     RankTraffic,
     RunReport,
@@ -34,6 +35,7 @@ __all__ = [
     "BatchMetrics",
     "RankTraffic",
     "WorkerMetrics",
+    "FaultReport",
     "RunReport",
     "SCHEMA",
 ]

@@ -22,6 +22,7 @@ from typing import Iterable, Mapping
 from .metrics import Counter, Histogram, Timer
 from .report import (
     BatchMetrics,
+    FaultReport,
     ModeMetrics,
     RankTraffic,
     RunReport,
@@ -50,6 +51,7 @@ class Telemetry:
         self.batches: list[BatchMetrics] = []
         self.traffic: list[RankTraffic] = []
         self.workers: list[WorkerMetrics] = []
+        self.fault: FaultReport | None = None
         self.meta: dict = {}
 
     # -- scalar metrics -----------------------------------------------------
@@ -165,6 +167,7 @@ class Telemetry:
             counters={n: c.value for n, c in self.counters.items()},
             timers={n: t.as_dict() for n, t in self.timers.items()},
             histograms={n: h.as_dict() for n, h in self.histograms.items()},
+            fault=self.fault,
         )
 
 

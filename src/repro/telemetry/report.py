@@ -22,6 +22,7 @@ __all__ = [
     "BatchMetrics",
     "RankTraffic",
     "WorkerMetrics",
+    "FaultReport",
     "RunReport",
 ]
 
@@ -156,6 +157,70 @@ class WorkerMetrics:
 
 
 @dataclass
+class FaultReport:
+    """Fault-tolerance accounting of one PLINGER run.
+
+    Written by the fault-tolerant master (and folded with worker-side
+    retry counts by the driver); the chaos tests pin these fields
+    against the exact number of injected faults.  Like ``batches``,
+    this is an additive v1 extension: reports without a ``fault``
+    section load unchanged.
+    """
+
+    #: ranks declared dead (quarantined) by the liveness detector
+    dead_workers: list[int] = field(default_factory=list)
+    #: number of reassignment events (one per quarantine/resync requeue)
+    reassignments: int = 0
+    #: total wavenumbers that were re-dispatched at least once
+    reassigned_modes: int = 0
+    #: retry counts keyed by tag name (e.g. ``{"READY": 2, "WORK": 3}``)
+    retries_by_tag: dict[str, int] = field(default_factory=dict)
+    #: READY messages that arrived while work was outstanding (a worker
+    #: that lost the master's reply and re-requested)
+    ready_resyncs: int = 0
+    #: results discarded because header/payload failed validation
+    corrupt_results: int = 0
+    #: headers whose tag-5 payload never arrived in time
+    payload_timeouts: int = 0
+    #: payloads that arrived with no matching in-flight header
+    orphan_payloads: int = 0
+    #: valid results for modes already recorded (duplicates discarded)
+    duplicate_results: int = 0
+    #: messages consumed and discarded because their tag was unexpected
+    unexpected_tags: int = 0
+    #: modes that needed the integration escalation ladder,
+    #: as ``[{"ik": int, "level": int}, ...]``
+    degraded_modes: list[dict] = field(default_factory=list)
+    #: wallclock spent between losing a result and re-recording it
+    recovery_wall_seconds: float = 0.0
+    #: heartbeats received by the master
+    heartbeats_received: int = 0
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries_by_tag.values())
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.dead_workers or self.reassignments or self.total_retries
+            or self.ready_resyncs or self.corrupt_results
+            or self.payload_timeouts or self.orphan_payloads
+            or self.duplicate_results or self.unexpected_tags
+            or self.degraded_modes
+        )
+
+    def bump_retry(self, tag_name: str, n: int = 1) -> None:
+        self.retries_by_tag[tag_name] = \
+            self.retries_by_tag.get(tag_name, 0) + n
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultReport":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
 class RunReport:
     """Everything a telemetered run measured, ready for JSON."""
 
@@ -167,6 +232,7 @@ class RunReport:
     counters: dict[str, int] = field(default_factory=dict)
     timers: dict[str, dict] = field(default_factory=dict)
     histograms: dict[str, dict] = field(default_factory=dict)
+    fault: FaultReport | None = None
     created_unix: float = field(default_factory=time.time)
 
     # -- aggregates ---------------------------------------------------------
@@ -197,6 +263,9 @@ class RunReport:
             "n_batches": len(self.batches),
             "lane_occupancy": att / (att + idle) if att + idle else 0.0,
             "wasted_step_fraction": rej / att if att else 0.0,
+            "n_dead_workers": len(self.fault.dead_workers) if self.fault
+            else 0,
+            "n_retries": self.fault.total_retries if self.fault else 0,
         }
 
     # -- serialization ------------------------------------------------------
@@ -214,6 +283,7 @@ class RunReport:
             "counters": dict(self.counters),
             "timers": dict(self.timers),
             "histograms": dict(self.histograms),
+            "fault": asdict(self.fault) if self.fault is not None else None,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -233,6 +303,8 @@ class RunReport:
             counters=dict(d.get("counters", {})),
             timers=dict(d.get("timers", {})),
             histograms=dict(d.get("histograms", {})),
+            fault=FaultReport.from_dict(d["fault"])
+            if d.get("fault") is not None else None,
             created_unix=float(d.get("created_unix", 0.0)),
         )
 
