@@ -1,0 +1,146 @@
+"""TAB-CACHE — warm-start precompute cache vs cold builds.
+
+Every LINGER/PLINGER run pays a k-independent tax before the first
+mode integrates: the background time table, the thermal/visibility
+history (the expensive one — a stiff ionization solve), and, for
+line-of-sight spectra, a dense j_l table.  The precompute cache pays
+that tax once: repeat runs reload the tables content-addressed from
+disk (bit-identically) and parallel runs map one shared copy.
+
+This benchmark times the same small run cold (empty cache directory),
+warm (second run against the same directory) and shared (a PLINGER
+``procs`` run attaching the published block), and archives the numbers
+as ``BENCH_cache.json``.  The run configuration is precompute-heavy on
+purpose — a high-resolution thermal grid plus a Bessel table against a
+handful of cheap modes — because that is exactly the regime the cache
+targets (parameter studies re-running one cosmology many times).
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import KGrid, LingerConfig, Telemetry, standard_cdm
+from repro.cache import PrecomputeCache
+from repro.plinger.driver import run_plinger
+from repro.spectra.cl import los_l_grid
+from repro.util import format_table
+
+#: Benchmark artifacts land in the repo root, next to this harness.
+ARTIFACT_DIR = Path(__file__).resolve().parents[1]
+
+NK = 2
+WARM_ROUNDS = 3
+#: The heavy precompute: a high-resolution thermal grid (the
+#: paper-grade setting for tight visibility sampling) and a dense
+#: j_l table.
+THERMAL_N_GRID = 48000
+L_GRID = los_l_grid(600, n=24)
+
+
+def _config():
+    return LingerConfig(record_sources=False, keep_mode_results=False,
+                        lmax_photon=6, lmax_nu=6, rtol=1e-3)
+
+
+def _build_and_run(params, kgrid, cache):
+    """The cacheable preamble plus the mode integrations."""
+    from repro.linger import run_linger
+
+    bg = cache.background(params)
+    th = cache.thermal(bg, n_grid=THERMAL_N_GRID)
+    cache.bessel(L_GRID, x_max=float(np.max(kgrid.k)) * bg.tau0)
+    return run_linger(params, kgrid, _config(), background=bg, thermo=th)
+
+
+def test_cache_warm_speedup(benchmark, capsys, tmp_path):
+    """Cold vs warm vs shared wall clock, archived as BENCH_cache.json."""
+    params = standard_cdm()
+    kgrid = KGrid.from_k(np.geomspace(1e-3, 0.02, NK))
+    cache_dir = tmp_path / "table-cache"
+
+    def measure():
+        # cold: empty directory, every table is built and stored
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        cold_cache = PrecomputeCache(cache_dir)
+        t0 = time.perf_counter()
+        cold_result = _build_and_run(params, kgrid, cold_cache)
+        cold_s = time.perf_counter() - t0
+        assert cold_cache.metrics.misses == 3  # bg + thermal + bessel
+
+        # warm: same directory, everything loads
+        warm_t, warm_cache, warm_result = [], None, None
+        for _ in range(WARM_ROUNDS):
+            warm_cache = PrecomputeCache(cache_dir)
+            t0 = time.perf_counter()
+            warm_result = _build_and_run(params, kgrid, warm_cache)
+            warm_t.append(time.perf_counter() - t0)
+            assert warm_cache.metrics.misses == 0
+            assert warm_cache.metrics.hits == 3
+        return cold_s, min(warm_t), cold_cache, warm_cache, \
+            cold_result, warm_result
+
+    cold_s, warm_s, cold_cache, warm_cache, cold_result, warm_result = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = cold_s / warm_s
+
+    # warm results are bit-identical, not merely close
+    for hc, hw in zip(cold_result.headers, warm_result.headers):
+        assert hw.delta_m == hc.delta_m
+        assert hw.phi == hc.phi
+
+    # shared: a forked PLINGER run attaching one published mapping
+    shared_cache = PrecomputeCache(cache_dir)
+    telemetry = Telemetry()
+    t0 = time.perf_counter()
+    bg = shared_cache.background(params)
+    th = shared_cache.thermal(bg, n_grid=THERMAL_N_GRID)
+    run_plinger(params, kgrid, _config(), nproc=3, backend="procs",
+                background=bg, thermo=th, cache=shared_cache,
+                bessel_l=L_GRID, telemetry=telemetry)
+    shared_s = time.perf_counter() - t0
+    assert shared_cache.metrics.workers_attached == 2
+    assert shared_cache.metrics.bytes_shared > 0
+
+    report = telemetry.build_report(meta={
+        "table": "TAB-CACHE",
+        "nk": NK,
+        "thermal_n_grid": THERMAL_N_GRID,
+        "bessel_l_count": int(L_GRID.size),
+        "warm_rounds": WARM_ROUNDS,
+        "cold_seconds": cold_s,
+        "warm_best_seconds": warm_s,
+        "shared_seconds": shared_s,
+        "speedup": speedup,
+        "cold_bytes_written": cold_cache.metrics.bytes_written,
+        "warm_bytes_read": warm_cache.metrics.bytes_read,
+        "bytes_shared": shared_cache.metrics.bytes_shared,
+        "shared_backend": shared_cache.metrics.shared_backend,
+    })
+    out = report.save(ARTIFACT_DIR / "BENCH_cache.json")
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["quantity", "value"],
+            [
+                ["modes", NK],
+                ["cold (build + store) [s]", f"{cold_s:.2f}"],
+                ["warm best-of-%d [s]" % WARM_ROUNDS, f"{warm_s:.2f}"],
+                ["shared procs run [s]", f"{shared_s:.2f}"],
+                ["speedup (cold/warm)", f"{speedup:.2f}x"],
+                ["bytes written cold", cold_cache.metrics.bytes_written],
+                ["bytes read warm", warm_cache.metrics.bytes_read],
+                ["bytes shared",
+                 f"{shared_cache.metrics.bytes_shared} "
+                 f"({shared_cache.metrics.shared_backend}, "
+                 f"{shared_cache.metrics.workers_attached} workers)"],
+            ],
+            title=f"TAB-CACHE: precompute cache -> {out.name}",
+        ))
+
+    # the ISSUE acceptance floor: a warm start at least halves the
+    # wall clock of this precompute-heavy configuration
+    assert speedup >= 2.0

@@ -19,6 +19,8 @@ The package implements the full LINGER/PLINGER system in Python:
 * :mod:`repro.data`          — the 1995 bandpower compilation
 * :mod:`repro.telemetry`     — run metrics: integrator cost, message
   accounting, worker utilization, JSON :class:`RunReport`
+* :mod:`repro.cache`         — content-addressed precompute-table cache
+  with zero-copy shared-memory distribution to PLINGER workers
 
 Quickstart::
 
@@ -46,7 +48,9 @@ from .linger import KGrid, LingerConfig, LingerResult, cl_kgrid, matter_kgrid, r
 from .plinger import run_plinger
 from .perturbations import ModeResult, evolve_mode
 from .telemetry import NULL_TELEMETRY, RunReport, Telemetry
+from .cache import PrecomputeCache
 from .errors import (
+    CacheError,
     IntegrationError,
     MessagePassingError,
     ParameterError,
@@ -77,7 +81,9 @@ __all__ = [
     "Telemetry",
     "RunReport",
     "NULL_TELEMETRY",
+    "PrecomputeCache",
     "ReproError",
+    "CacheError",
     "ParameterError",
     "IntegrationError",
     "MessagePassingError",

@@ -67,6 +67,62 @@ class Background:
         self._build_time_table(n_grid)
 
     # ------------------------------------------------------------------
+    # Table round-tripping (precompute cache)
+    # ------------------------------------------------------------------
+
+    def to_tables(self) -> dict[str, np.ndarray]:
+        """Primitive arrays from which :meth:`from_tables` can rebuild
+        this object bit-for-bit.
+
+        Only the expensively computed tables are exported (the time
+        integral and the massive-neutrino momentum integrals); every
+        spline is re-derived on load by the same deterministic code
+        that built it, so a round-tripped background evaluates
+        identically to the original.
+        """
+        tables = {
+            "a_min": np.float64(self.a_min),
+            "lna_grid": self._lna_grid,
+            "tau_grid": self._tau_grid,
+        }
+        if self.nu_tables is not None:
+            for name, arr in self.nu_tables.to_tables().items():
+                tables[f"nu_{name}"] = arr
+        return tables
+
+    @classmethod
+    def from_tables(
+        cls, params: CosmologyParams, tables: dict
+    ) -> "Background":
+        """Rebuild a background from :meth:`to_tables` output.
+
+        ``tables`` may hold ordinary arrays or read-only shared-memory
+        views; nothing is copied.
+        """
+        self = cls.__new__(cls)
+        self.params = params
+        self.a_min = float(tables["a_min"])
+        self.nu_tables = None
+        self._omega_nu_rel_equiv = 0.0
+        if params.omega_nu > 0.0:
+            self._omega_nu_rel_equiv = (
+                params.n_nu_massive
+                * (7.0 / 8.0)
+                * (4.0 / 11.0) ** (4.0 / 3.0)
+                * params.omega_gamma
+            )
+            self.nu_tables = MassiveNuTables.from_tables({
+                name[3:]: arr
+                for name, arr in tables.items()
+                if name.startswith("nu_")
+            })
+        self._finish_time_table(
+            np.asarray(tables["lna_grid"], dtype=float),
+            np.asarray(tables["tau_grid"], dtype=float),
+        )
+        return self
+
+    # ------------------------------------------------------------------
     # Densities and pressures
     # ------------------------------------------------------------------
 
@@ -166,6 +222,11 @@ class Background:
         np.cumsum(increments, out=tau[1:])
         tau[1:] += tau_start
 
+        self._finish_time_table(lna, tau)
+
+    def _finish_time_table(self, lna: np.ndarray, tau: np.ndarray) -> None:
+        """Derive the tau <-> a splines from the tabulated integral
+        (shared by the builder and :meth:`from_tables`)."""
         self._lna_grid = lna
         self._tau_grid = tau
         self._ln_tau_of_lna = CubicSpline(lna, np.log(tau))

@@ -147,6 +147,10 @@ class MassiveNuTables:
     _log_p_spline: CubicSpline
     x_min: float
     x_max: float
+    #: raw knot data kept for bit-exact cache round-trips
+    _lnx: np.ndarray | None = None
+    _log_rho: np.ndarray | None = None
+    _log_p: np.ndarray | None = None
 
     @classmethod
     def build(cls, x0: float, n_table: int = 400) -> "MassiveNuTables":
@@ -157,12 +161,45 @@ class MassiveNuTables:
         q, w = momentum_grid(96, q_max=30.0)
         rho = rho_integral(x, q, w)
         p = pressure_integral(x, q, w)
+        return cls._from_knots(x0, x_min, x_max, np.log(x), np.log(rho),
+                               np.log(p))
+
+    @classmethod
+    def _from_knots(cls, x0, x_min, x_max, lnx, log_rho,
+                    log_p) -> "MassiveNuTables":
         return cls(
             x0=x0,
-            _log_rho_spline=CubicSpline(np.log(x), np.log(rho)),
-            _log_p_spline=CubicSpline(np.log(x), np.log(p)),
+            _log_rho_spline=CubicSpline(lnx, log_rho),
+            _log_p_spline=CubicSpline(lnx, log_p),
             x_min=x_min,
             x_max=x_max,
+            _lnx=lnx,
+            _log_rho=log_rho,
+            _log_p=log_p,
+        )
+
+    def to_tables(self) -> dict[str, np.ndarray]:
+        """The q-grid integrals as primitive arrays (precompute cache)."""
+        return {
+            "x0": np.float64(self.x0),
+            "x_min": np.float64(self.x_min),
+            "x_max": np.float64(self.x_max),
+            "lnx": self._lnx,
+            "log_rho": self._log_rho,
+            "log_p": self._log_p,
+        }
+
+    @classmethod
+    def from_tables(cls, tables: dict) -> "MassiveNuTables":
+        """Rebuild from :meth:`to_tables` output; the splines are
+        re-fit from the same knot data, so evaluation is bit-identical."""
+        return cls._from_knots(
+            float(tables["x0"]),
+            float(tables["x_min"]),
+            float(tables["x_max"]),
+            np.asarray(tables["lnx"], dtype=float),
+            np.asarray(tables["log_rho"], dtype=float),
+            np.asarray(tables["log_p"], dtype=float),
         )
 
     def rho_factor(self, a):

@@ -1,0 +1,23 @@
+"""Content-addressed precompute cache with zero-copy worker sharing.
+
+See :mod:`repro.cache.precompute` for the facade, :mod:`.keys` for the
+key scheme, :mod:`.store` for the digest-verified on-disk format and
+:mod:`.sharing` for the shared-memory block.
+"""
+
+from .keys import CACHE_VERSION, cache_key, canonical_blob
+from .precompute import AttachedTables, PrecomputeCache
+from .sharing import SharedTableBlock, manifest_from_reals, manifest_to_reals
+from .store import TableStore
+
+__all__ = [
+    "AttachedTables",
+    "CACHE_VERSION",
+    "PrecomputeCache",
+    "SharedTableBlock",
+    "TableStore",
+    "cache_key",
+    "canonical_blob",
+    "manifest_from_reals",
+    "manifest_to_reals",
+]

@@ -1,0 +1,72 @@
+"""Content-addressed cache keys.
+
+A cache entry is addressed by the SHA-256 of a *canonical
+serialization* of everything that determines its contents: the entry
+kind, the cosmological parameters, the table-shape configuration
+(grid sizes, switch points, ...) and the cache format version.  Change
+any of them and the key changes — stale entries are never read, they
+are simply never addressed again (invalidation by construction).
+
+Floats are serialized with :meth:`float.hex` so the key is exact down
+to the last bit of every parameter: two cosmologies that differ by one
+ulp in ``omega_b`` get different keys, and the same cosmology always
+gets the same key on every platform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["CACHE_VERSION", "canonical_blob", "cache_key"]
+
+#: Bump whenever the *content* of any cached table kind changes
+#: (different physics, different columns, different layout) so old
+#: entries stop being addressed.
+CACHE_VERSION = 1
+
+
+def _canonical(value: Any):
+    """Reduce ``value`` to a JSON-able tree with bit-exact floats."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value).hex()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        tree = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        tree["__type__"] = type(value).__name__
+        return tree
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return [_canonical(v) for v in np.asarray(value).tolist()] \
+            if isinstance(value, np.ndarray) else [_canonical(v) for v in value]
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__} for a cache key"
+    )
+
+
+def canonical_blob(kind: str, params: Any, shape: Mapping | None) -> bytes:
+    """The canonical byte string a cache key digests."""
+    doc = {
+        "version": CACHE_VERSION,
+        "kind": str(kind),
+        "params": _canonical(params),
+        "shape": _canonical(dict(shape) if shape else {}),
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+def cache_key(kind: str, params: Any = None,
+              shape: Mapping | None = None) -> str:
+    """SHA-256 hex key for one (kind, params, shape) cache entry."""
+    return hashlib.sha256(canonical_blob(kind, params, shape)).hexdigest()

@@ -1,0 +1,216 @@
+"""The precompute cache facade: build-or-load every k-independent table.
+
+Every worker of a PLINGER run (and every run of a parameter study)
+needs the same k-independent state: the background time table, the
+thermal/visibility history, the massive-neutrino q-grid integrals and
+— for line-of-sight spectra — a dense j_l(x) table.  COSMICS shipped
+these as precomputed table files; :class:`PrecomputeCache` is that
+idea as a content-addressed store (see :mod:`repro.cache.keys`) plus a
+zero-copy shared-memory publication step for the ``procs`` backend.
+
+Guarantees:
+
+* **Bit-exactness** — a cache hit reconstructs objects that evaluate
+  identically to freshly built ones (only primitive solver output is
+  persisted; every spline is re-derived by the same code).
+* **Self-healing** — corrupt entries (digest mismatch, truncation)
+  are deleted, counted in :class:`~repro.telemetry.report.CacheMetrics`
+  and rebuilt.
+* **Concurrency safety** — writers land entries atomically; the worst
+  race outcome is building the same table twice.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..background import Background
+from ..errors import CorruptCacheEntry
+from ..params import CosmologyParams
+from ..spectra.los import BesselCache
+from ..telemetry.report import CacheMetrics
+from ..thermo import ThermalHistory
+from .keys import cache_key
+from .sharing import SharedTableBlock
+from .store import TableStore
+
+__all__ = ["PrecomputeCache", "AttachedTables"]
+
+
+class PrecomputeCache:
+    """Content-addressed build-or-load for precomputed tables.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory of the table store (created if missing).
+    metrics:
+        An optional :class:`CacheMetrics` to account into (a fresh one
+        is created otherwise; exposed as ``self.metrics`` either way).
+    share_backend:
+        ``"shm"`` (POSIX shared memory, the default) or ``"memmap"``
+        for :meth:`publish`.
+    """
+
+    def __init__(self, cache_dir, metrics: CacheMetrics | None = None,
+                 share_backend: str = "shm") -> None:
+        self.store = TableStore(cache_dir)
+        self.metrics = metrics if metrics is not None else CacheMetrics()
+        self.share_backend = share_backend
+
+    # -- store plumbing -----------------------------------------------------
+
+    def _lookup(self, kind: str, key: str) -> dict | None:
+        t0 = time.perf_counter()
+        try:
+            loaded = self.store.load(key)
+        except CorruptCacheEntry:
+            self.metrics.record_corrupt(kind)
+            return None
+        if loaded is None:
+            return None
+        arrays, _meta, nbytes = loaded
+        self.metrics.record_hit(kind, time.perf_counter() - t0, nbytes)
+        return arrays
+
+    def _put(self, kind: str, key: str, arrays: Mapping,
+             build_seconds: float) -> None:
+        nbytes = self.store.save(
+            key, dict(arrays),
+            meta={"kind": kind, "build_seconds": build_seconds},
+        )
+        self.metrics.record_miss(kind, build_seconds, nbytes)
+
+    # -- builders -----------------------------------------------------------
+
+    def background(self, params: CosmologyParams, a_min: float = 1.0e-10,
+                   n_grid: int = 4000) -> Background:
+        """Build-or-load a :class:`Background` for ``params``."""
+        key = cache_key("background", params,
+                        {"a_min": a_min, "n_grid": n_grid})
+        tables = self._lookup("background", key)
+        if tables is not None:
+            return Background.from_tables(params, tables)
+        t0 = time.perf_counter()
+        bg = Background(params, a_min=a_min, n_grid=n_grid)
+        self._put("background", key, bg.to_tables(),
+                  time.perf_counter() - t0)
+        return bg
+
+    def thermal(self, background: Background, a_start: float = 1.0e-8,
+                n_grid: int = 6000, saha_switch: float = 0.985,
+                z_reion: float | None = None,
+                x_e_reion: float | None = None,
+                dz_reion: float = 1.5) -> ThermalHistory:
+        """Build-or-load a :class:`ThermalHistory` on ``background``.
+
+        The key covers only what the ionization solve depends on (the
+        cosmology and the thermal grid shape) — the background's own
+        table resolution does not enter the solve, so backgrounds of
+        different ``n_grid`` share thermal entries.
+        """
+        key = cache_key("thermal", background.params, {
+            "a_start": a_start,
+            "n_grid": n_grid,
+            "saha_switch": saha_switch,
+            "z_reion": z_reion,
+            "x_e_reion": x_e_reion,
+            "dz_reion": dz_reion,
+        })
+        tables = self._lookup("thermal", key)
+        if tables is not None:
+            return ThermalHistory.from_tables(background, tables)
+        t0 = time.perf_counter()
+        thermo = ThermalHistory(
+            background, a_start=a_start, n_grid=n_grid,
+            saha_switch=saha_switch, z_reion=z_reion,
+            x_e_reion=x_e_reion, dz_reion=dz_reion,
+        )
+        self._put("thermal", key, thermo.to_tables(),
+                  time.perf_counter() - t0)
+        return thermo
+
+    def bessel(self, l_values: Sequence[int], x_max: float,
+               dx: float = 0.25) -> BesselCache:
+        """Build-or-load a dense spherical-Bessel table for ``l_values``."""
+        l_sorted = sorted({int(l) for l in np.asarray(l_values).ravel()})
+        key = cache_key("bessel", None, {
+            "x_max": float(x_max), "dx": float(dx), "l_values": l_sorted,
+        })
+        tables = self._lookup("bessel", key)
+        if tables is not None:
+            return BesselCache.from_tables(tables)
+        t0 = time.perf_counter()
+        bc = BesselCache(float(x_max), dx=float(dx))
+        for l in l_sorted:
+            bc.table(l)
+        self._put("bessel", key, bc.to_tables(), time.perf_counter() - t0)
+        return bc
+
+    # -- zero-copy distribution ---------------------------------------------
+
+    def publish(self, background: Background | None = None,
+                thermo: ThermalHistory | None = None,
+                bessel: BesselCache | None = None) -> SharedTableBlock:
+        """Pack the given tables into one shared block for the workers.
+
+        Returns the block; broadcast ``block.manifest`` (see
+        :func:`~repro.cache.sharing.manifest_to_reals`) and have each
+        worker call :meth:`AttachedTables.attach`.  The caller owns the
+        block and must ``close()`` + ``unlink()`` it after the run.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        if background is not None:
+            for name, arr in background.to_tables().items():
+                arrays[f"bg/{name}"] = arr
+        if thermo is not None:
+            for name, arr in thermo.to_tables().items():
+                arrays[f"th/{name}"] = arr
+        if bessel is not None:
+            for name, arr in bessel.to_tables().items():
+                arrays[f"jl/{name}"] = arr
+        block = SharedTableBlock.create(arrays, backend=self.share_backend)
+        self.metrics.bytes_shared += block.total_bytes
+        self.metrics.shared_backend = block.backend
+        return block
+
+
+class AttachedTables:
+    """A worker's read-only view of a published table block."""
+
+    def __init__(self, block: SharedTableBlock) -> None:
+        self.block = block
+
+    @classmethod
+    def attach(cls, manifest: dict) -> "AttachedTables":
+        return cls(SharedTableBlock.attach(manifest))
+
+    def _group(self, prefix: str) -> dict[str, np.ndarray]:
+        return {
+            name[len(prefix):]: arr
+            for name, arr in self.block.arrays.items()
+            if name.startswith(prefix)
+        }
+
+    def background(self, params: CosmologyParams) -> Background:
+        """The shared background, reconstructed without copying."""
+        return Background.from_tables(params, self._group("bg/"))
+
+    def thermal(self, background: Background) -> ThermalHistory:
+        """The shared thermal history, reconstructed without copying."""
+        return ThermalHistory.from_tables(background, self._group("th/"))
+
+    def bessel(self) -> BesselCache | None:
+        """The shared Bessel table, or None if none was published."""
+        group = self._group("jl/")
+        return BesselCache.from_tables(group) if group else None
+
+    @property
+    def bytes_mapped(self) -> int:
+        return self.block.total_bytes
+
+    def close(self) -> None:
+        self.block.close()

@@ -1,0 +1,237 @@
+"""Zero-copy distribution of precomputed tables to worker ranks.
+
+A :class:`SharedTableBlock` packs a set of named arrays into **one**
+contiguous shared-memory segment (``multiprocessing.shared_memory``,
+falling back to a file-backed ``np.memmap`` where POSIX shared memory
+is unavailable) and describes the layout in a small JSON *manifest*:
+
+.. code-block:: json
+
+    {"schema": "...", "backend": "shm", "name": "psm_...",
+     "total_bytes": 123456,
+     "arrays": {"bg/lna_grid": {"offset": 0, "shape": [4000],
+                                "dtype": "<f8"}}}
+
+The master creates the block, broadcasts the manifest to the workers
+over the ordinary float64 message wire (:func:`manifest_to_reals`),
+and every worker attaches read-only views of the *same* physical
+pages: N workers map one copy instead of computing (or copying) N.
+
+Lifecycle: the creator owns the segment and must :meth:`unlink` it
+after the run; attachers only :meth:`close`.  Attached views are
+marked read-only so a worker cannot scribble on its siblings' tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import CacheError
+from .store import _c_contig
+
+__all__ = ["SharedTableBlock", "manifest_to_reals", "manifest_from_reals"]
+
+SCHEMA = "repro.cache.SharedTableBlock/v1"
+
+#: Array start alignment inside the block (bytes); keeps every table
+#: cache-line aligned for the vectorized consumers.
+_ALIGN = 64
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    On Python < 3.13 every attach registers the segment with the
+    resource tracker, which would unlink it when *any* attaching
+    process exits — yanking the pages out from under its siblings —
+    and spam leaked-resource warnings.  Only the creating process may
+    own cleanup, so attachers suppress registration entirely (rather
+    than unregistering afterwards, which trips the tracker when
+    creator and attacher share a process, as in tests).
+    """
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **kw: None
+    try:
+        return shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = orig
+
+
+def manifest_to_reals(manifest: dict) -> np.ndarray:
+    """Encode a manifest as float64s for the PLINGER message wire.
+
+    One byte of the canonical JSON per real — wasteful but wire-simple,
+    and a manifest is a few hundred bytes sent once per run.
+    """
+    raw = json.dumps(manifest, sort_keys=True).encode()
+    return np.frombuffer(raw, dtype=np.uint8).astype(np.float64)
+
+
+def manifest_from_reals(reals: np.ndarray) -> dict:
+    """Inverse of :func:`manifest_to_reals`."""
+    data = np.asarray(reals)
+    return json.loads(bytes(data.astype(np.uint8)).decode())
+
+
+class SharedTableBlock:
+    """One shared segment holding many named, aligned arrays."""
+
+    def __init__(self, manifest: dict, arrays: dict[str, np.ndarray],
+                 owner: bool, shm: shared_memory.SharedMemory | None,
+                 mmap: np.memmap | None) -> None:
+        self.manifest = manifest
+        self.arrays = arrays
+        self.owner = owner
+        self._shm = shm
+        self._mmap = mmap
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def _layout(arrays: dict[str, np.ndarray]) -> tuple[dict, int]:
+        specs: dict[str, dict] = {}
+        offset = 0
+        for name in sorted(arrays):
+            arr = _c_contig(arrays[name])
+            offset = -(-offset // _ALIGN) * _ALIGN
+            specs[name] = {
+                "offset": offset,
+                "shape": list(arr.shape),
+                "dtype": arr.dtype.str,
+            }
+            offset += arr.nbytes
+        return specs, max(offset, 1)
+
+    @staticmethod
+    def _views(buf, specs: dict) -> dict[str, np.ndarray]:
+        views = {}
+        for name, spec in specs.items():
+            v = np.frombuffer(
+                buf,
+                dtype=np.dtype(spec["dtype"]),
+                count=int(np.prod(spec["shape"], dtype=np.int64)),
+                offset=spec["offset"],
+            ).reshape(spec["shape"])
+            views[name] = v
+        return views
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray], backend: str = "shm",
+               dir: str | None = None) -> "SharedTableBlock":
+        """Publish ``arrays`` into a fresh shared segment (one copy)."""
+        if backend not in ("shm", "memmap"):
+            raise CacheError(f"unknown sharing backend {backend!r}")
+        specs, total = cls._layout(arrays)
+        shm = mmap = None
+        if backend == "shm":
+            try:
+                shm = shared_memory.SharedMemory(create=True, size=total)
+            except (OSError, ValueError):
+                backend = "memmap"
+        if backend == "shm":
+            buf, name = shm.buf, shm.name
+        else:
+            fd, path = tempfile.mkstemp(
+                prefix="repro-tables-", suffix=".bin", dir=dir
+            )
+            os.ftruncate(fd, total)
+            os.close(fd)
+            mmap = np.memmap(path, dtype=np.uint8, mode="r+",
+                             shape=(total,))
+            buf, name = mmap, path
+        views = cls._views(buf, specs)
+        for arr_name, arr in arrays.items():
+            views[arr_name][...] = _c_contig(arr)
+        if mmap is not None:
+            mmap.flush()
+        for v in views.values():
+            v.flags.writeable = False
+        manifest = {
+            "schema": SCHEMA,
+            "backend": backend,
+            "name": name,
+            "total_bytes": total,
+            "arrays": specs,
+        }
+        return cls(manifest, views, owner=True, shm=shm, mmap=mmap)
+
+    @classmethod
+    def attach(cls, manifest: dict) -> "SharedTableBlock":
+        """Map an existing segment described by ``manifest`` read-only."""
+        if manifest.get("schema") != SCHEMA:
+            raise CacheError(
+                f"not a {SCHEMA} manifest: {manifest.get('schema')!r}"
+            )
+        total = int(manifest["total_bytes"])
+        shm = mmap = None
+        if manifest["backend"] == "shm":
+            try:
+                shm = _attach_untracked(manifest["name"])
+            except FileNotFoundError as exc:
+                raise CacheError(
+                    f"shared segment {manifest['name']!r} is gone "
+                    "(creator unlinked it early?)"
+                ) from exc
+            buf = shm.buf
+        else:
+            mmap = np.memmap(manifest["name"], dtype=np.uint8, mode="r",
+                             shape=(total,))
+            buf = mmap
+        views = cls._views(buf, manifest["arrays"])
+        for v in views.values():
+            v.flags.writeable = False
+        return cls(manifest, views, owner=False, shm=shm, mmap=mmap)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self.manifest["backend"]
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.manifest["total_bytes"])
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives).
+
+        Consumers may still hold views (e.g. spline knot vectors built
+        straight on the shared pages); in that case the underlying
+        buffer cannot be released yet and we leave it to process exit,
+        exactly as with ordinary fork-inherited memory.
+        """
+        self.arrays = {}
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:
+                # Views still exported: disarm the SharedMemory object
+                # so its __del__ does not retry (and fail noisily) at
+                # interpreter shutdown.  The exported memoryview keeps
+                # the mapping alive until the views die.
+                self._shm._buf = None
+                self._shm._mmap = None
+        self._mmap = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; call after every rank is
+        done).  Idempotent."""
+        if not self.owner:
+            return
+        if self._shm is not None:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        elif self.manifest["backend"] == "memmap":
+            try:
+                os.unlink(self.manifest["name"])
+            except FileNotFoundError:
+                pass

@@ -1,0 +1,140 @@
+"""The on-disk artifact store: one ``.npz`` file per cache key.
+
+Layout: ``<root>/<key[:2]>/<key>.npz`` (the two-character fan-out keeps
+directory listings short on large caches).  Every entry embeds
+
+* the arrays themselves (``allow_pickle=False`` end to end),
+* a ``__meta__`` JSON string (provenance: kind, build time, ...),
+* a ``__digest__``: the SHA-256 of the array contents.
+
+Loading re-digests what was read and compares; a mismatch — torn
+write, truncation, disk corruption — deletes the entry and raises
+:class:`~repro.errors.CorruptCacheEntry`, so callers heal by
+rebuilding.  Writes go to a uniquely named temporary file in the same
+directory, are fsynced, and land via ``os.replace``: concurrent
+writers of the same key race safely (last complete file wins; readers
+only ever see a complete file).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CorruptCacheEntry
+
+__all__ = ["TableStore"]
+
+
+def _c_contig(arr) -> np.ndarray:
+    """C-contiguous view/copy that preserves 0-d shapes.
+
+    (``np.ascontiguousarray`` silently promotes scalars to shape (1,),
+    which would corrupt the digest/shape roundtrip.)
+    """
+    arr = np.asarray(arr)
+    if not arr.flags["C_CONTIGUOUS"]:
+        arr = np.ascontiguousarray(arr).reshape(arr.shape)
+    return arr
+
+
+def _content_digest(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over names, dtypes, shapes and raw bytes, in name order."""
+    import hashlib
+
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = _c_contig(arrays[name])
+        h.update(name.encode())
+        h.update(arr.dtype.str.encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class TableStore:
+    """A content-addressed directory of ``.npz`` table bundles."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def save(self, key: str, arrays: dict[str, np.ndarray],
+             meta: dict | None = None) -> int:
+        """Atomically write one entry; returns the bytes written."""
+        payload = {}
+        for name, arr in arrays.items():
+            if name.startswith("__"):
+                raise ValueError(f"array name {name!r} is reserved")
+            payload[name] = _c_contig(arr)
+        payload["__digest__"] = np.array(_content_digest(payload))
+        payload["__meta__"] = np.array(
+            json.dumps(meta or {}, sort_keys=True)
+        )
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / (
+            f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            nbytes = tmp.stat().st_size
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return nbytes
+
+    def load(self, key: str) -> tuple[dict[str, np.ndarray], dict, int] | None:
+        """Read an entry back, or None if absent.
+
+        Returns ``(arrays, meta, bytes_read)``.  A file that cannot be
+        parsed or whose digest does not match is deleted and reported
+        as :class:`~repro.errors.CorruptCacheEntry`.
+        """
+        path = self.path(key)
+        try:
+            nbytes = path.stat().st_size
+        except FileNotFoundError:
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                arrays = {
+                    name: npz[name]
+                    for name in npz.files
+                    if not name.startswith("__")
+                }
+                stored = str(npz["__digest__"][()])
+                meta = json.loads(str(npz["__meta__"][()]))
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+                json.JSONDecodeError) as exc:
+            self.delete(key)
+            raise CorruptCacheEntry(
+                f"cache entry {key} unreadable ({exc}); deleted"
+            ) from exc
+        if stored != _content_digest(arrays):
+            self.delete(key)
+            raise CorruptCacheEntry(
+                f"cache entry {key} failed its digest check; deleted"
+            )
+        return arrays, meta, nbytes
+
+    def delete(self, key: str) -> None:
+        self.path(key).unlink(missing_ok=True)
+
+    def keys(self) -> list[str]:
+        """Every key currently stored (sorted)."""
+        return sorted(p.stem for p in self.root.glob("??/*.npz"))

@@ -11,6 +11,7 @@ Subcommands mirror what a LINGER/PLINGER user did at the shell:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -88,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--report", metavar="PATH", default=None,
                        help="enable run telemetry and write the JSON "
                             "RunReport here")
+    p_run.add_argument("--cache-dir", metavar="DIR",
+                       default=os.environ.get("REPRO_CACHE_DIR"),
+                       help="precompute-table cache directory: background "
+                            "and thermal tables are stored content-"
+                            "addressed and reloaded bit-identically on "
+                            "repeat runs; with --parallel the tables are "
+                            "also shared zero-copy with the workers "
+                            "(default: $REPRO_CACHE_DIR)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="ignore --cache-dir / $REPRO_CACHE_DIR")
     p_run.add_argument("--output", required=True, help="archive (.npz)")
 
     p_spec = sub.add_parser("spectrum", help="C_l from an archive")
@@ -140,6 +151,11 @@ def cmd_run(args) -> int:
         keep_mode_results=False,
     )
     telemetry = Telemetry() if args.report else NULL_TELEMETRY
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        from .cache import PrecomputeCache
+
+        cache = PrecomputeCache(args.cache_dir)
     fault_tolerance = None
     if args.worker_timeout > 0:
         from .plinger import FaultTolerance
@@ -155,7 +171,8 @@ def cmd_run(args) -> int:
                                     backend=args.backend,
                                     telemetry=telemetry,
                                     batch_size=args.batch_size,
-                                    fault_tolerance=fault_tolerance)
+                                    fault_tolerance=fault_tolerance,
+                                    cache=cache)
         print(f"PLINGER: {kgrid.nk} modes on {args.parallel - 1} workers, "
               f"{stats.wall_seconds:.1f} s wallclock, "
               f"{stats.master_bytes_received} bytes gathered")
@@ -167,8 +184,15 @@ def cmd_run(args) -> int:
                   f"{len(fr.degraded_modes)} degraded modes")
     else:
         result = run_linger(params, kgrid, config, telemetry=telemetry,
-                            batch_size=args.batch_size)
+                            batch_size=args.batch_size, cache=cache)
         print(f"LINGER: {kgrid.nk} modes, {result.wall_seconds:.1f} s")
+    if cache is not None:
+        m = cache.metrics
+        shared = (f", {m.bytes_shared} B shared with "
+                  f"{m.workers_attached} workers ({m.shared_backend})"
+                  if m.bytes_shared else "")
+        print(f"cache: {m.hits} hits / {m.misses} misses in "
+              f"{args.cache_dir}{shared}")
     path = save_run(result, args.output)
     print(f"archived to {path}")
     if args.report:
@@ -205,6 +229,15 @@ def _print_report_summary(report) -> None:
         rows.append(["lane occupancy", f"{totals['lane_occupancy']:.3f}"])
         rows.append(["wasted-step fraction",
                      f"{totals['wasted_step_fraction']:.3f}"])
+    if report.cache is not None:
+        cm = report.cache
+        rows.append(["cache hits / misses", f"{cm.hits} / {cm.misses}"])
+        rows.append(["cache build [s]", f"{cm.build_seconds:.3f}"])
+        rows.append(["cache load [s]", f"{cm.load_seconds:.3f}"])
+        if cm.bytes_shared:
+            rows.append(["cache bytes shared",
+                         f"{cm.bytes_shared} ({cm.shared_backend}, "
+                         f"{cm.workers_attached} workers)"])
     if report.fault is not None:
         fr = report.fault
         rows.append(["dead workers", len(fr.dead_workers)])

@@ -25,3 +25,13 @@ class ProtocolError(MessagePassingError):
 
 class ScheduleError(ReproError, RuntimeError):
     """The cluster schedule simulator received an inconsistent setup."""
+
+
+class CacheError(ReproError, RuntimeError):
+    """The precompute table cache was misused or a backend failed."""
+
+
+class CorruptCacheEntry(CacheError):
+    """A cache entry failed its content-digest check (torn write,
+    truncation, bit rot).  The store deletes the entry before raising,
+    so the caller can simply rebuild."""

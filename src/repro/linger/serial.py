@@ -301,6 +301,7 @@ def run_linger(
     progress: bool = False,
     telemetry: Telemetry = NULL_TELEMETRY,
     batch_size: int = 1,
+    cache=None,
 ) -> LingerResult:
     """The serial LINGER main loop.
 
@@ -312,12 +313,21 @@ def run_linger(
     Pass an enabled :class:`~repro.telemetry.Telemetry` to collect
     per-mode integrator metrics (build a
     :class:`~repro.telemetry.RunReport` from it afterwards).
+
+    ``cache`` (a :class:`~repro.cache.PrecomputeCache`) builds-or-loads
+    the background and thermal tables through the content-addressed
+    store — a warm cache skips both solves, bit-identically — and its
+    metrics land in the telemetry report's ``cache`` section.
     """
     if batch_size < 1:
         raise ParameterError("batch_size must be >= 1")
     config = config or LingerConfig()
-    background = background or Background(params)
-    thermo = thermo or ThermalHistory(background)
+    if background is None:
+        background = (cache.background(params) if cache is not None
+                      else Background(params))
+    if thermo is None:
+        thermo = (cache.thermal(background) if cache is not None
+                  else ThermalHistory(background))
 
     nk = kgrid.nk
     headers: list[ModeHeader | None] = [None] * nk
@@ -362,6 +372,9 @@ def run_linger(
         telemetry.meta.setdefault("nk", nk)
         if batch_size > 1:
             telemetry.meta.setdefault("batch_size", batch_size)
+        if cache is not None:
+            telemetry.meta.setdefault("cache", True)
+            telemetry.cache = cache.metrics
 
     return LingerResult(
         params=params,

@@ -17,6 +17,12 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..background import Background
+from ..cache import (
+    AttachedTables,
+    PrecomputeCache,
+    manifest_from_reals,
+    manifest_to_reals,
+)
 from ..errors import IntegrationError, MessagePassingError, ProtocolError
 from ..linger.kgrid import KGrid
 from ..linger.serial import (
@@ -61,7 +67,9 @@ class PlingerRunStats:
 
 def _worker_entry(mp_handle, background, thermo, kgrid, config,
                   with_telemetry: bool = False, batched: bool = False,
-                  fault_tolerance: FaultTolerance | None = None):
+                  fault_tolerance: FaultTolerance | None = None,
+                  params: CosmologyParams | None = None,
+                  use_cache: bool = False):
     """Entry point for worker ranks (thread target / forked child).
 
     With telemetry on, the worker builds its own collector (forked
@@ -70,6 +78,12 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
     world's out-of-band channel after the protocol completes.  With
     ``batched`` on, multi-k WORK chunks integrate through the batched
     engine instead of a per-mode loop.
+
+    With ``use_cache`` on, the master follows its INIT broadcast with a
+    tag-8 CACHE manifest; the worker attaches the shared table block
+    before requesting work and — when ``background``/``thermo`` were
+    not handed in — reconstructs both straight on the shared pages
+    (zero copies: every rank maps the same physical tables).
 
     Under a fault-tolerance policy the compute path degrades gracefully:
     an :class:`~repro.errors.IntegrationError` walks the escalation
@@ -82,6 +96,26 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
     ladder = ft is not None and ft.integration_retries
     telemetry = Telemetry() if with_telemetry else NULL_TELEMETRY
     mp_handle.initpass()
+
+    attached = None
+    cache_info: dict | None = None
+    if use_cache:
+        # The CACHE broadcast trails INIT; consuming it by tag here
+        # leaves INIT queued for the protocol loop below.
+        mp_handle.mycheckone(Tag.CACHE, mp_handle.mastid)
+        manifest = manifest_from_reals(
+            mp_handle.myrecvraw(Tag.CACHE, mp_handle.mastid)
+        )
+        attached = AttachedTables.attach(manifest)
+        if background is None:
+            background = attached.background(params)
+        if thermo is None:
+            thermo = attached.thermal(background)
+        cache_info = {
+            "attached": True,
+            "bytes_mapped": attached.bytes_mapped,
+            "backend": manifest["backend"],
+        }
 
     def attempt_mode(ik: int, cfg):
         k = float(kgrid.k[ik - 1])
@@ -136,13 +170,16 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
         if ft is None:
             raise
         log = WorkerLog()
-    if with_telemetry or ft is not None:
+    if with_telemetry or ft is not None or use_cache:
         mp_handle.publish_telemetry({
             "traffic": mp_handle.stats.as_dict(),
             "worker": log.as_dict(),
             "telemetry": telemetry.worker_payload(),
+            "cache": cache_info,
         })
     mp_handle.endpass()
+    if attached is not None:
+        attached.close()
 
 
 def run_plinger(
@@ -157,6 +194,8 @@ def run_plinger(
     batch_size: int = 1,
     fault_tolerance: FaultTolerance | None = None,
     world: World | None = None,
+    cache: PrecomputeCache | None = None,
+    bessel_l: np.ndarray | None = None,
 ) -> tuple[LingerResult, PlingerRunStats]:
     """Run PLINGER with ``nproc - 1`` workers plus the master.
 
@@ -185,6 +224,15 @@ def run_plinger(
     in place of ``get_backend(backend, nproc)``; ``backend`` then only
     selects how workers are hosted (threads unless the world can
     ``launch`` forked children).
+
+    Pass a :class:`~repro.cache.PrecomputeCache` as ``cache`` to (a)
+    build-or-load the background and thermal tables through the
+    content-addressed store and (b) publish them — plus, when
+    ``bessel_l`` names a multipole set, the dense j_l table — as one
+    shared-memory block that every worker maps instead of copying.
+    The manifest rides the wire as a tag-8 broadcast right after INIT;
+    attachment counts land in ``cache.metrics`` (and the telemetry
+    report's ``cache`` section).
     """
     if nproc < 2:
         raise MessagePassingError("PLINGER needs at least 1 worker (nproc >= 2)")
@@ -194,8 +242,12 @@ def run_plinger(
             "PLINGER ships only the wire records; run with "
             "keep_mode_results=False (use run_linger for source recording)"
         )
-    background = background or Background(params)
-    thermo = thermo or ThermalHistory(background)
+    if background is None:
+        background = (cache.background(params) if cache is not None
+                      else Background(params))
+    if thermo is None:
+        thermo = (cache.thermal(background) if cache is not None
+                  else ThermalHistory(background))
     if batch_size < 1:
         raise ProtocolError("batch_size must be >= 1")
     chunks = None
@@ -214,50 +266,85 @@ def run_plinger(
     master_mp = world.handle(0)
     forked = hasattr(world, "launch")
     ft = fault_tolerance
+    use_cache = cache is not None
+
+    shared_block = None
+    manifest_data = None
+    if use_cache:
+        bessel = None
+        if bessel_l is not None:
+            bessel = cache.bessel(
+                bessel_l, x_max=float(np.max(kgrid.k)) * background.tau0
+            )
+        shared_block = cache.publish(background, thermo, bessel)
+        manifest_data = manifest_to_reals(shared_block.manifest)
+
+    # In cache mode workers get no background/thermo objects: forked
+    # children must attach the shared block (instead of riding on
+    # copy-on-write pages), and thread workers exercise the same path.
+    worker_bg = None if use_cache else background
+    worker_th = None if use_cache else thermo
 
     wall0 = time.perf_counter()
-    if forked:
-        world.launch(_worker_entry, background, thermo, kgrid, config,
-                     telemetry.enabled, batched, ft)
-    elif backend in ("inprocess", "procs"):
-        threads = [
-            threading.Thread(
-                target=_worker_entry,
-                args=(world.handle(r), background, thermo, kgrid, config,
-                      telemetry.enabled, batched, ft),
-                daemon=True,
+    try:
+        if forked:
+            world.launch(_worker_entry, worker_bg, worker_th, kgrid, config,
+                         telemetry.enabled, batched, ft, params, use_cache)
+        elif backend in ("inprocess", "procs"):
+            threads = [
+                threading.Thread(
+                    target=_worker_entry,
+                    args=(world.handle(r), worker_bg, worker_th, kgrid,
+                          config, telemetry.enabled, batched, ft, params,
+                          use_cache),
+                    daemon=True,
+                )
+                for r in range(1, nproc)
+            ]
+            for t in threads:
+                t.start()
+        else:
+            raise MessagePassingError(
+                f"backend {backend!r} cannot host PLINGER workers"
             )
-            for r in range(1, nproc)
-        ]
-        for t in threads:
-            t.start()
-    else:
-        raise MessagePassingError(
-            f"backend {backend!r} cannot host PLINGER workers"
-        )
 
-    master_mp.initpass()
-    log = master_subroutine(master_mp, kgrid, chunks=chunks,
-                            fault_tolerance=ft)
-    master_mp.endpass()
+        master_mp.initpass()
+        log = master_subroutine(master_mp, kgrid, chunks=chunks,
+                                fault_tolerance=ft,
+                                manifest_data=manifest_data)
+        master_mp.endpass()
 
-    if forked:
-        # under fault tolerance a quarantined-but-hung child is simply
-        # terminated: its work has already been reassigned
-        world.join(timeout=60.0, strict=ft is None)
-    else:
-        for t in threads:
-            t.join(timeout=60.0)
-            if t.is_alive() and ft is None:
-                raise MessagePassingError("worker thread failed to exit")
-    wall = time.perf_counter() - wall0
+        if forked:
+            # under fault tolerance a quarantined-but-hung child is simply
+            # terminated: its work has already been reassigned
+            world.join(timeout=60.0, strict=ft is None)
+        else:
+            for t in threads:
+                t.join(timeout=60.0)
+                if t.is_alive() and ft is None:
+                    raise MessagePassingError("worker thread failed to exit")
+        wall = time.perf_counter() - wall0
+    finally:
+        if shared_block is not None:
+            shared_block.close()
+            shared_block.unlink()
+
+    collected: dict = {}
+    if telemetry.enabled or ft is not None or use_cache:
+        collected = dict(sorted(world.collect_telemetry().items()))
 
     if ft is not None and log.fault is not None:
         # fold worker-side retry accounting into the fault report
-        for _rank, payload in sorted(world.collect_telemetry().items()):
+        for _rank, payload in collected.items():
             w = payload.get("worker", {})
             if w.get("ready_retries"):
                 log.fault.bump_retry("READY", int(w["ready_retries"]))
+
+    if use_cache:
+        for _rank, payload in collected.items():
+            info = payload.get("cache") or {}
+            if info.get("attached"):
+                cache.metrics.workers_attached += 1
 
     if telemetry.enabled:
         telemetry.meta.setdefault("driver", "plinger")
@@ -269,13 +356,16 @@ def run_plinger(
         if ft is not None:
             telemetry.meta.setdefault("fault_tolerance", True)
             telemetry.fault = log.fault
+        if use_cache:
+            telemetry.meta.setdefault("cache", True)
+            telemetry.cache = cache.metrics
         telemetry.timer("plinger.wall").add(wall)
         telemetry.timer("master.probe_wait").add(
             log.probe_wait_seconds, count=len(log.headers)
         )
         telemetry.record_traffic(0, "master", master_mp.stats,
                                  tag_names=TAG_NAMES)
-        for rank, payload in sorted(world.collect_telemetry().items()):
+        for rank, payload in collected.items():
             telemetry.record_traffic(rank, "worker", payload["traffic"],
                                      tag_names=TAG_NAMES)
             w = payload["worker"]

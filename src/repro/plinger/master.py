@@ -63,6 +63,7 @@ def master_subroutine(
     on_result: Callable[[ModeHeader, ModePayload], None] | None = None,
     chunks: Sequence[Sequence[int]] | None = None,
     fault_tolerance: FaultTolerance | None = None,
+    manifest_data: np.ndarray | None = None,
 ) -> MasterLog:
     """Run the master side of the PLINGER protocol to completion.
 
@@ -94,6 +95,14 @@ def master_subroutine(
         switches to the resilient master loop (liveness deadlines,
         quarantine, reassignment, validated records); ``None`` keeps
         the paper's fail-loudly protocol exactly.
+    manifest_data:
+        An encoded shared-table manifest
+        (:func:`~repro.cache.sharing.manifest_to_reals`).  When given,
+        the INIT broadcast's fifth slot carries its length and the
+        manifest itself follows as one tag-8 (CACHE) broadcast; workers
+        attach the shared tables before requesting work.  ``None``
+        keeps the fifth slot 0 and sends no CACHE message — the
+        paper's wire, untouched.
     """
     nk = kgrid.nk
     if chunks is None:
@@ -107,7 +116,8 @@ def master_subroutine(
     if init_data is None:
         init_data = np.array(
             [float(nk), float(kgrid.k[0]), float(kgrid.k[-1]),
-             float(work_length if work_length > 1 else 0), 0.0]
+             float(work_length if work_length > 1 else 0),
+             float(0 if manifest_data is None else len(manifest_data))]
         )
     init_data = np.asarray(init_data, dtype=float)
     if init_data.size != INIT_MESSAGE_LENGTH:
@@ -117,6 +127,8 @@ def master_subroutine(
 
     log = MasterLog()
     mp.mybcastreal(init_data, Tag.INIT)
+    if manifest_data is not None:
+        mp.mybcastreal(np.asarray(manifest_data, dtype=float), Tag.CACHE)
 
     if fault_tolerance is not None:
         return _master_fault_tolerant(

@@ -17,6 +17,10 @@ class Tag(IntEnum):
     extension: workers emit it on a timer so the fault-tolerant master
     can tell a busy worker from a dead one; it earns no reply, so the
     paper's one-reply-per-message accounting of tags 1-6 is untouched.
+    CACHE is the precompute-cache extension: one broadcast right after
+    INIT carrying the shared-table manifest (JSON bytes on the float64
+    wire); like HEARTBEAT it earns no reply, and it is only sent when
+    the INIT message's fifth slot announces its length.
     """
 
     #: first message from master to workers (run setup broadcast)
@@ -33,3 +37,5 @@ class Tag(IntEnum):
     STOP = 6
     #: from worker; periodic liveness signal (never replied to)
     HEARTBEAT = 7
+    #: from master; shared precompute-table manifest (never replied to)
+    CACHE = 8

@@ -13,7 +13,7 @@ Plus COBE Q_rms-PS normalization (:mod:`normalize`) and the linear
 matter power spectrum (:mod:`matterpower`).
 """
 
-from .cl import cl_from_hierarchy, cl_integrate_over_k
+from .cl import cl_from_hierarchy, cl_integrate_over_k, los_l_grid
 from .los import SourceTable, cl_from_los, BesselCache
 from .matterpower import matter_power, sigma_r, transfer_function
 from .normalize import band_power_uk, cobe_normalization, qrms_ps_from_cl
@@ -29,6 +29,7 @@ __all__ = [
     "fit_amplitude",
     "cl_from_hierarchy",
     "cl_integrate_over_k",
+    "los_l_grid",
     "SourceTable",
     "cl_from_los",
     "BesselCache",

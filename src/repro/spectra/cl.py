@@ -17,7 +17,24 @@ import numpy as np
 
 from ..errors import ParameterError
 
-__all__ = ["cl_integrate_over_k", "cl_from_hierarchy"]
+__all__ = ["cl_integrate_over_k", "cl_from_hierarchy", "los_l_grid"]
+
+
+def los_l_grid(l_max: int, n: int = 40, l_min: int = 2) -> np.ndarray:
+    """A log-spaced multipole grid for line-of-sight spectra.
+
+    Every l up to ~12 (where C_l varies fastest relative to l) plus
+    ``n`` geometrically spaced multipoles up to ``l_max``.  Using one
+    canonical grid matters to the precompute cache: the dense j_l
+    table is keyed on the exact l set, so runs that share this grid
+    share the table.
+    """
+    if l_max < l_min:
+        raise ParameterError("l_max must be >= l_min")
+    dense_top = min(12, l_max)
+    dense = np.arange(l_min, dense_top + 1)
+    sparse = np.geomspace(dense_top, l_max, n).astype(int)
+    return np.unique(np.concatenate([dense, sparse]))
 
 
 def cl_integrate_over_k(

@@ -27,7 +27,7 @@ suite: at low l this projection and the full-hierarchy C_l agree.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.interpolate import CubicSpline
@@ -38,7 +38,8 @@ from ..perturbations import ModeResult
 from ..thermo import ThermalHistory
 from .cl import cl_integrate_over_k
 
-__all__ = ["SourceTable", "BesselCache", "cl_from_los", "theta_l_los"]
+__all__ = ["SourceTable", "BesselCache", "cl_from_los", "theta_l_los",
+           "resolve_bessel"]
 
 
 @dataclass
@@ -49,6 +50,12 @@ class SourceTable:
     tau: np.ndarray
     source: np.ndarray
     tau0: float
+    _spline: CubicSpline | None = field(
+        default=None, repr=False, compare=False
+    )
+    _dense_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def from_mode(cls, mode: ModeResult, thermo: ThermalHistory,
@@ -70,14 +77,13 @@ class SourceTable:
         alpha = r["alpha"]
         alpha_dot = r["alpha_dot"]
 
-        vb_spl = CubicSpline(tau, vb)
-        pi_spl = CubicSpline(tau, pi)
-        ad_spl = CubicSpline(tau, alpha_dot)
-
-        vb_dot = vb_spl.derivative(1)(tau)
-        pi_dot = pi_spl.derivative(1)(tau)
-        pi_ddot = pi_spl.derivative(2)(tau)
-        alpha_ddot = ad_spl.derivative(1)(tau)
+        # One stacked fit for all three records that need time
+        # derivatives: CubicSpline solves the same tridiagonal system
+        # with three right-hand sides instead of three times.
+        rec_spl = CubicSpline(tau, np.column_stack([vb, pi, alpha_dot]))
+        d1 = rec_spl.derivative(1)(tau)
+        vb_dot, pi_dot, alpha_ddot = d1[:, 0], d1[:, 1], d1[:, 2]
+        pi_ddot = rec_spl.derivative(2)(tau)[:, 1]
 
         theta0 = r["delta_g"] / 4.0
         source = (
@@ -89,18 +95,32 @@ class SourceTable:
         )
         return cls(k=k, tau=tau, source=source, tau0=tau0)
 
+    def spline(self) -> CubicSpline:
+        """The source interpolant, fit once per table (both the
+        temperature and polarization projections resample it)."""
+        if self._spline is None:
+            self._spline = CubicSpline(self.tau, self.source)
+        return self._spline
+
     def dense(self, points_per_period: float = 8.0,
               max_dtau: float = 12.0) -> tuple[np.ndarray, np.ndarray]:
         """Source resampled on a uniform grid fine enough for j_l.
 
         The Bessel kernel oscillates in tau with period 2 pi / k, so the
         quadrature step is the smaller of ``max_dtau`` and that period
-        over ``points_per_period``.
+        over ``points_per_period``.  Memoized: repeated projections of
+        the same table (temperature then polarization, or several l
+        batches) resample once.
         """
+        key = (points_per_period, max_dtau)
+        hit = self._dense_cache.get(key)
+        if hit is not None:
+            return hit
         dtau = min(max_dtau, 2.0 * math.pi / self.k / points_per_period)
         n = max(int(math.ceil((self.tau0 - self.tau[0]) / dtau)), 16)
         t = np.linspace(self.tau[0], self.tau0, n)
-        s = CubicSpline(self.tau, self.source)(t)
+        s = self.spline()(t)
+        self._dense_cache[key] = (t, s)
         return t, s
 
 
@@ -118,6 +138,8 @@ class BesselCache:
         self.dx = float(dx)
         self._x = np.arange(0.0, self.x_max + 4.0 * dx, dx)
         self._tables: dict[int, np.ndarray] = {}
+        self._matrix: np.ndarray | None = None
+        self._matrix_l: tuple[int, ...] = ()
 
     def table(self, l: int) -> np.ndarray:
         tab = self._tables.get(l)
@@ -126,17 +148,64 @@ class BesselCache:
             self._tables[l] = tab
         return tab
 
+    # -- table round-tripping (precompute cache) ------------------------
+
+    def to_tables(self) -> dict[str, np.ndarray]:
+        """The dense j_l table as primitive arrays (precompute cache)."""
+        l_values = np.array(sorted(self._tables), dtype=np.int64)
+        return {
+            "x_max": np.float64(self.x_max),
+            "dx": np.float64(self.dx),
+            "l_values": l_values,
+            "jl": self.table_matrix(l_values),
+        }
+
+    @classmethod
+    def from_tables(cls, tables: dict) -> "BesselCache":
+        """Rebuild from :meth:`to_tables` output without a single
+        ``spherical_jn`` call.
+
+        The rows may be read-only shared-memory views — they are
+        consumed in place (zero-copy), and any multipole *not* in the
+        table still materializes lazily on first use.
+        """
+        self = cls(float(tables["x_max"]), float(tables["dx"]))
+        l_values = tuple(int(l) for l in np.asarray(tables["l_values"]))
+        jl = np.asarray(tables["jl"], dtype=float)
+        if jl.shape != (len(l_values), self._x.size):
+            raise ParameterError(
+                f"Bessel table shape {jl.shape} does not match its "
+                f"(l_values, x grid) = ({len(l_values)}, {self._x.size})"
+            )
+        for l, row in zip(l_values, jl):
+            self._tables[l] = row
+        self._matrix = jl
+        self._matrix_l = l_values
+        return self
+
     def eval(self, l: int, x: np.ndarray) -> np.ndarray:
         """Linear interpolation of j_l at the (non-negative) points x."""
         tab = self.table(l)
         xi = np.clip(x, 0.0, self.x_max + 3.0 * self.dx) / self.dx
-        i = xi.astype(int)
+        # i+1 must stay in the table even when x sits exactly on the
+        # clip bound (the grid carries a 4*dx margin past x_max)
+        i = np.minimum(xi.astype(int), self._x.size - 2)
         frac = xi - i
         return tab[i] * (1.0 - frac) + tab[i + 1] * frac
 
     def table_matrix(self, l_values: np.ndarray) -> np.ndarray:
-        """The stacked (nl, nx) table for many multipoles at once."""
-        return np.stack([self.table(int(l)) for l in l_values])
+        """The stacked (nl, nx) table for many multipoles at once.
+
+        Memoized on the requested l tuple, so per-source projection
+        loops restack (or copy out of shared memory) nothing.
+        """
+        key = tuple(int(l) for l in np.asarray(l_values).ravel())
+        if self._matrix is not None and key == self._matrix_l:
+            return self._matrix
+        matrix = np.stack([self.table(l) for l in key])
+        self._matrix = matrix
+        self._matrix_l = key
+        return matrix
 
     def eval_many(self, l_values: np.ndarray, x: np.ndarray) -> np.ndarray:
         """j_l(x) for every requested l as one (nl, nx) matrix.
@@ -147,28 +216,46 @@ class BesselCache:
         """
         tab = self.table_matrix(l_values)
         xi = np.clip(x, 0.0, self.x_max + 3.0 * self.dx) / self.dx
-        i = xi.astype(int)
+        i = np.minimum(xi.astype(int), self._x.size - 2)
         frac = xi - i
         return tab[:, i] * (1.0 - frac) + tab[:, i + 1] * frac
+
+
+def resolve_bessel(
+    sources: list[SourceTable],
+    l_values: np.ndarray,
+    bessel: BesselCache | None,
+    cache,
+) -> BesselCache:
+    """The Bessel table a projection should use: the one given, the
+    precompute cache's (persisted/shared dense table), or a fresh
+    lazily-filled one."""
+    if bessel is not None:
+        return bessel
+    x_max = max(s.k * s.tau0 for s in sources)
+    if cache is not None:
+        return cache.bessel(l_values, x_max)
+    return BesselCache(x_max)
 
 
 def theta_l_los(
     sources: list[SourceTable],
     l_values: np.ndarray,
     bessel: BesselCache | None = None,
+    cache=None,
 ) -> np.ndarray:
     """Theta_l(k) for every source table and multipole.
 
     Per source the quadrature over all multipoles is one (nl, ntau)
     matrix contraction against the stacked Bessel tables rather than a
-    Python loop over l.
+    Python loop over l.  ``cache`` (a
+    :class:`~repro.cache.PrecomputeCache`) supplies the dense j_l
+    table from disk or shared memory instead of ``spherical_jn``.
 
     Returns an array of shape (nk, nl).
     """
     l_values = np.asarray(l_values, dtype=int)
-    if bessel is None:
-        x_max = max(s.k * s.tau0 for s in sources)
-        bessel = BesselCache(x_max)
+    bessel = resolve_bessel(sources, l_values, bessel, cache)
     out = np.empty((len(sources), l_values.size))
     for i, src in enumerate(sources):
         t, s = src.dense()
@@ -182,11 +269,14 @@ def cl_from_los(
     linger_result,
     l_values: np.ndarray,
     bessel: BesselCache | None = None,
+    cache=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """C_l via line-of-sight projection of a recorded LINGER run.
 
     Returns (l, C_l) with C_l unnormalized (same convention as
-    :func:`repro.spectra.cl.cl_from_hierarchy`).
+    :func:`repro.spectra.cl.cl_from_hierarchy`).  Pass a
+    :class:`~repro.cache.PrecomputeCache` as ``cache`` to reuse a
+    persisted Bessel table across runs.
     """
     modes = [m for m in linger_result.modes if m is not None]
     if len(modes) != linger_result.kgrid.nk:
@@ -198,7 +288,7 @@ def cl_from_los(
     sources = [
         SourceTable.from_mode(m, linger_result.thermo, tau0) for m in modes
     ]
-    theta = theta_l_los(sources, l_values, bessel=bessel)
+    theta = theta_l_los(sources, l_values, bessel=bessel, cache=cache)
     cl = cl_integrate_over_k(
         linger_result.k, theta, n_s=linger_result.params.n_s
     )

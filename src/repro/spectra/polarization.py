@@ -16,16 +16,13 @@ spectrum and normalization factor as the temperature C_l.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
-from scipy.interpolate import CubicSpline
 
 from ..errors import ParameterError
 from ..perturbations import ModeResult
 from ..thermo import ThermalHistory
 from .cl import cl_integrate_over_k
-from .los import BesselCache, SourceTable
+from .los import BesselCache, SourceTable, resolve_bessel
 
 __all__ = ["polarization_source", "e_l_los", "cl_ee_from_los"]
 
@@ -47,26 +44,27 @@ def e_l_los(
     sources: list[SourceTable],
     l_values: np.ndarray,
     bessel: BesselCache | None = None,
+    cache=None,
 ) -> np.ndarray:
-    """E_l(k) for every polarization source table; shape (nk, nl)."""
+    """E_l(k) for every polarization source table; shape (nk, nl).
+
+    Per source the quadrature is one (nl, ntau) matrix contraction
+    against the stacked Bessel tables (same shape as the temperature
+    projection), not a Python loop over l.
+    """
     l_values = np.asarray(l_values, dtype=int)
     if np.any(l_values < 2):
         raise ParameterError("polarization is defined for l >= 2")
-    if bessel is None:
-        x_max = max(s.k * s.tau0 for s in sources)
-        bessel = BesselCache(x_max)
+    bessel = resolve_bessel(sources, l_values, bessel, cache)
+    lv = l_values.astype(float)
+    geom = np.sqrt((lv + 2.0) * (lv + 1.0) * lv * (lv - 1.0))
     out = np.empty((len(sources), l_values.size))
     for i, src in enumerate(sources):
         t, s = src.dense()
         x = src.k * (src.tau0 - t)
         inv_x2 = 1.0 / np.maximum(x, 1e-8) ** 2
-        for j, l in enumerate(l_values):
-            geom = math.sqrt(
-                (l + 2.0) * (l + 1.0) * l * (l - 1.0)
-            )
-            out[i, j] = geom * np.trapezoid(
-                s * inv_x2 * bessel.eval(int(l), x), t
-            )
+        kernel = (s * inv_x2) * bessel.eval_many(l_values, x)  # (nl, ntau)
+        out[i] = geom * np.trapezoid(kernel, t, axis=1)
     return out
 
 
@@ -74,6 +72,7 @@ def cl_ee_from_los(
     linger_result,
     l_values: np.ndarray,
     bessel: BesselCache | None = None,
+    cache=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """C_l^EE (unnormalized, same convention as the temperature C_l).
 
@@ -89,7 +88,7 @@ def cl_ee_from_los(
     sources = [
         polarization_source(m, linger_result.thermo, tau0) for m in modes
     ]
-    e_l = e_l_los(sources, l_values, bessel=bessel)
+    e_l = e_l_los(sources, l_values, bessel=bessel, cache=cache)
     cl = cl_integrate_over_k(
         linger_result.k, e_l, n_s=linger_result.params.n_s
     )

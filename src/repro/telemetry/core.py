@@ -22,6 +22,7 @@ from typing import Iterable, Mapping
 from .metrics import Counter, Histogram, Timer
 from .report import (
     BatchMetrics,
+    CacheMetrics,
     FaultReport,
     ModeMetrics,
     RankTraffic,
@@ -52,6 +53,7 @@ class Telemetry:
         self.traffic: list[RankTraffic] = []
         self.workers: list[WorkerMetrics] = []
         self.fault: FaultReport | None = None
+        self.cache: CacheMetrics | None = None
         self.meta: dict = {}
 
     # -- scalar metrics -----------------------------------------------------
@@ -168,6 +170,7 @@ class Telemetry:
             timers={n: t.as_dict() for n, t in self.timers.items()},
             histograms={n: h.as_dict() for n, h in self.histograms.items()},
             fault=self.fault,
+            cache=self.cache,
         )
 
 

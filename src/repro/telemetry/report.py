@@ -23,6 +23,7 @@ __all__ = [
     "RankTraffic",
     "WorkerMetrics",
     "FaultReport",
+    "CacheMetrics",
     "RunReport",
 ]
 
@@ -221,6 +222,70 @@ class FaultReport:
 
 
 @dataclass
+class CacheMetrics:
+    """Precompute-cache accounting of one run.
+
+    Written by :class:`~repro.cache.PrecomputeCache` (hits, misses,
+    build/load time, bytes) and by the PLINGER driver (shared-memory
+    distribution).  Like ``batches`` and ``fault``, this is an additive
+    v1 extension: reports without a ``cache`` section load unchanged.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    #: entries that failed the digest check and were deleted + rebuilt
+    corrupt_entries: int = 0
+    #: wallclock spent building tables the cache did not have
+    build_seconds: float = 0.0
+    #: wallclock spent reading + verifying cached tables
+    load_seconds: float = 0.0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    #: size of the shared-memory block published to the workers
+    bytes_shared: int = 0
+    #: "shm" | "memmap" | "" (nothing shared)
+    shared_backend: str = ""
+    #: worker ranks that attached the shared block
+    workers_attached: int = 0
+    #: per-kind hit/miss/corrupt counts, e.g.
+    #: ``{"background": {"hits": 1, "misses": 0, "corrupt": 0}}``
+    by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _slot(self, kind: str) -> dict[str, int]:
+        return self.by_kind.setdefault(
+            kind, {"hits": 0, "misses": 0, "corrupt": 0}
+        )
+
+    def record_hit(self, kind: str, seconds: float = 0.0,
+                   nbytes: int = 0) -> None:
+        self.hits += 1
+        self.load_seconds += seconds
+        self.bytes_read += nbytes
+        self._slot(kind)["hits"] += 1
+
+    def record_miss(self, kind: str, build_seconds: float = 0.0,
+                    nbytes: int = 0) -> None:
+        self.misses += 1
+        self.build_seconds += build_seconds
+        self.bytes_written += nbytes
+        self._slot(kind)["misses"] += 1
+
+    def record_corrupt(self, kind: str) -> None:
+        self.corrupt_entries += 1
+        self._slot(kind)["corrupt"] += 1
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CacheMetrics":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
 class RunReport:
     """Everything a telemetered run measured, ready for JSON."""
 
@@ -233,6 +298,7 @@ class RunReport:
     timers: dict[str, dict] = field(default_factory=dict)
     histograms: dict[str, dict] = field(default_factory=dict)
     fault: FaultReport | None = None
+    cache: CacheMetrics | None = None
     created_unix: float = field(default_factory=time.time)
 
     # -- aggregates ---------------------------------------------------------
@@ -266,6 +332,10 @@ class RunReport:
             "n_dead_workers": len(self.fault.dead_workers) if self.fault
             else 0,
             "n_retries": self.fault.total_retries if self.fault else 0,
+            "cache_hits": self.cache.hits if self.cache else 0,
+            "cache_misses": self.cache.misses if self.cache else 0,
+            "cache_bytes_shared": self.cache.bytes_shared if self.cache
+            else 0,
         }
 
     # -- serialization ------------------------------------------------------
@@ -284,6 +354,7 @@ class RunReport:
             "timers": dict(self.timers),
             "histograms": dict(self.histograms),
             "fault": asdict(self.fault) if self.fault is not None else None,
+            "cache": asdict(self.cache) if self.cache is not None else None,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -305,6 +376,8 @@ class RunReport:
             histograms=dict(d.get("histograms", {})),
             fault=FaultReport.from_dict(d["fault"])
             if d.get("fault") is not None else None,
+            cache=CacheMetrics.from_dict(d["cache"])
+            if d.get("cache") is not None else None,
             created_unix=float(d.get("created_unix", 0.0)),
         )
 

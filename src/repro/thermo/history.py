@@ -73,7 +73,58 @@ class ThermalHistory:
             x_e_reion if x_e_reion is not None else 1.0 + self.f_he
         )
         self.dz_reion = dz_reion
-        self._build(a_start, n_grid, saha_switch)
+        self._finish(*self._build_ionization(a_start, n_grid, saha_switch))
+
+    # ------------------------------------------------------------------
+    # Table round-tripping (precompute cache)
+    # ------------------------------------------------------------------
+
+    def to_tables(self) -> dict[str, np.ndarray]:
+        """Primitive arrays from which :meth:`from_tables` can rebuild
+        this object bit-for-bit.
+
+        Only the ionization solve (Saha walk + Peebles ODE + helium
+        recombination) is exported; every derived spline — opacity,
+        optical depth, visibility and its derivatives, sound speed —
+        is recomputed on load by the same deterministic vector code,
+        so a round-tripped history evaluates identically.
+        """
+        return {
+            "lna": self._lna,
+            "x_e": self._x_e_table,
+            "x_h": self._x_h_table,
+            "t_b": self._t_b_table,
+            "z_reion": np.float64(
+                np.nan if self.z_reion is None else self.z_reion
+            ),
+            "x_e_reion": np.float64(self.x_e_reion),
+            "dz_reion": np.float64(self.dz_reion),
+        }
+
+    @classmethod
+    def from_tables(cls, background: Background,
+                    tables: dict) -> "ThermalHistory":
+        """Rebuild a thermal history from :meth:`to_tables` output.
+
+        ``tables`` may hold ordinary arrays or read-only shared-memory
+        views; the ionization arrays are consumed in place.
+        """
+        self = cls.__new__(cls)
+        self.background = background
+        self.params = background.params
+        self.f_he = self.params.y_he / (4.0 * (1.0 - self.params.y_he))
+        self._n_h0 = self.params.n_hydrogen_cgs
+        z_reion = float(tables["z_reion"])
+        self.z_reion = None if math.isnan(z_reion) else z_reion
+        self.x_e_reion = float(tables["x_e_reion"])
+        self.dz_reion = float(tables["dz_reion"])
+        self._finish(
+            np.asarray(tables["lna"], dtype=float),
+            np.asarray(tables["x_e"], dtype=float),
+            np.asarray(tables["x_h"], dtype=float),
+            np.asarray(tables["t_b"], dtype=float),
+        )
+        return self
 
     # ------------------------------------------------------------------
     # Construction
@@ -115,7 +166,12 @@ class ThermalHistory:
 
         return np.array([dxh_dt / h_s, dtb_dt / h_s])
 
-    def _build(self, a_start: float, n_grid: int, saha_switch: float) -> None:
+    def _build_ionization(
+        self, a_start: float, n_grid: int, saha_switch: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The expensive half of construction: solve the ionization and
+        temperature history.  Returns ``(lna, x_e, x_h, t_b)`` — exactly
+        what :meth:`to_tables` persists."""
         lna = np.linspace(math.log(a_start), 0.0, n_grid)
         a = np.exp(lna)
         x_e = np.empty(n_grid)
@@ -164,6 +220,14 @@ class ThermalHistory:
             step = 0.5 * (1.0 + np.tanh((self.z_reion - z) / self.dz_reion))
             x_e = np.maximum(x_e, self.x_e_reion * step)
 
+        return lna, x_e, x_h, t_b
+
+    def _finish(self, lna: np.ndarray, x_e: np.ndarray, x_h: np.ndarray,
+                t_b: np.ndarray) -> None:
+        """The cheap half: spline every derived quantity off the
+        ionization tables (shared by the builder and
+        :meth:`from_tables`)."""
+        a = np.exp(lna)
         self._lna = lna
         self._a = a
         self._x_e_table = x_e

@@ -27,7 +27,7 @@ class UniformGridCubic:
     polynomials (constant extrapolation of the outermost cubic piece).
     """
 
-    __slots__ = ("x0", "dx", "n", "c0", "c1", "c2", "c3", "_x", "_y")
+    __slots__ = ("x0", "dx", "n", "c0", "c1", "c2", "c3", "_c", "_x", "_y")
 
     def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
         x = np.asarray(x, dtype=float)
@@ -45,6 +45,9 @@ class UniformGridCubic:
         self.c2 = c[1].copy()
         self.c1 = c[2].copy()
         self.c0 = c[3].copy()
+        # row-packed copy of the same coefficients: one cache-friendly
+        # gather per vector evaluation instead of four strided ones
+        self._c = np.column_stack([self.c3, self.c2, self.c1, self.c0])
         self._x = x
         self._y = y
 
@@ -67,14 +70,23 @@ class UniformGridCubic:
         return (3.0 * self.c3[i] * t + 2.0 * self.c2[i]) * t + self.c1[i]
 
     def vector(self, x: np.ndarray) -> np.ndarray:
-        """Vectorized evaluation (used per-batch by the batched RHS)."""
+        """Vectorized evaluation (used per-batch by the batched RHS).
+
+        Bitwise-identical to looping :meth:`__call__`: identical index
+        arithmetic and Horner grouping, with the four coefficient
+        gathers fused into one fancy-indexed row gather.  Accepts any
+        input shape (the result has the same shape).
+        """
         x = np.asarray(x, dtype=float)
         # minimum/maximum instead of np.clip: same result, and np.clip's
         # bound handling is an order of magnitude slower on small arrays
-        i = np.minimum(np.maximum(((x - self.x0) / self.dx).astype(int), 0),
-                       self.n - 1)
+        i = np.minimum(
+            np.maximum(((x - self.x0) / self.dx).astype(np.intp), 0),
+            self.n - 1,
+        )
         t = x - (self.x0 + i * self.dx)
-        return ((self.c3[i] * t + self.c2[i]) * t + self.c1[i]) * t + self.c0[i]
+        c = self._c[i]  # one gather: (..., 4) rows [c3, c2, c1, c0]
+        return ((c[..., 0] * t + c[..., 1]) * t + c[..., 2]) * t + c[..., 3]
 
 
 class LogLogCubic:

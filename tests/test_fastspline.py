@@ -94,3 +94,61 @@ class TestLogLogCubic:
         s = LogLogCubic(x, x**0.5)
         pts = np.geomspace(0.2, 8, 9)
         assert np.allclose(s.vector(pts), pts**0.5, rtol=1e-8)
+
+
+class TestVectorBitCompat:
+    """The fused-gather vector path must match the scalar path bitwise.
+
+    ``vector()`` packs [c3, c2, c1, c0] rows and gathers once; the
+    Horner grouping is identical to ``__call__``, so every result must
+    be the same float64, not merely close.
+    """
+
+    def _spline(self):
+        x = np.linspace(-2.0, 7.0, 181)
+        y = np.sin(3.0 * x) / (1.0 + x * x)
+        return UniformGridCubic(x, y)
+
+    def test_bitwise_inside_range(self):
+        s = self._spline()
+        pts = np.linspace(-1.99, 6.99, 1009)
+        vec = s.vector(pts)
+        scal = np.array([s(float(p)) for p in pts])
+        assert np.array_equal(vec, scal)
+
+    def test_bitwise_outside_range(self):
+        s = self._spline()
+        pts = np.array([-100.0, -2.5, 7.5, 1e4])
+        assert np.array_equal(s.vector(pts),
+                              np.array([s(float(p)) for p in pts]))
+
+    def test_bitwise_at_knots(self):
+        s = self._spline()
+        knots = np.linspace(-2.0, 7.0, 181)
+        assert np.array_equal(s.vector(knots),
+                              np.array([s(float(p)) for p in knots]))
+
+    def test_nd_shapes(self):
+        s = self._spline()
+        pts = np.linspace(-1.5, 6.5, 24).reshape(2, 3, 4)
+        out = s.vector(pts)
+        assert out.shape == (2, 3, 4)
+        assert np.array_equal(out.ravel(), s.vector(pts.ravel()))
+
+    def test_packed_and_unpacked_coefficients_agree(self):
+        # system_batched reads c0..c3 directly; the packed _c rows used
+        # by vector() must be the same numbers
+        s = self._spline()
+        assert np.array_equal(s._c[:, 0], s.c3)
+        assert np.array_equal(s._c[:, 1], s.c2)
+        assert np.array_equal(s._c[:, 2], s.c1)
+        assert np.array_equal(s._c[:, 3], s.c0)
+
+    def test_loglog_vector_close(self):
+        # np.exp (SIMD) and math.exp (libm) may differ in the last ulp,
+        # so the log-log wrapper is compared with tolerance, not bits
+        x = np.geomspace(1e-2, 1e3, 101)
+        s = LogLogCubic(x, 2.0 * x**-1.3)
+        pts = np.geomspace(2e-2, 8e2, 333)
+        scal = np.array([s(float(p)) for p in pts])
+        assert np.allclose(s.vector(pts), scal, rtol=1e-15)
