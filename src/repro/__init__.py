@@ -21,6 +21,8 @@ The package implements the full LINGER/PLINGER system in Python:
   accounting, worker utilization, JSON :class:`RunReport`
 * :mod:`repro.cache`         — content-addressed precompute-table cache
   with zero-copy shared-memory distribution to PLINGER workers
+* :mod:`repro.verify`        — Einstein-constraint monitors,
+  differential/analytic oracles, and the tolerance-budget registry
 
 Quickstart::
 
@@ -49,6 +51,7 @@ from .plinger import run_plinger
 from .perturbations import ModeResult, evolve_mode
 from .telemetry import NULL_TELEMETRY, RunReport, Telemetry
 from .cache import PrecomputeCache
+from .verify import ConstraintMonitor, VerificationReport, verify_run
 from .errors import (
     CacheError,
     IntegrationError,
@@ -57,6 +60,7 @@ from .errors import (
     ProtocolError,
     ReproError,
     ScheduleError,
+    VerificationError,
 )
 
 __version__ = "1.0.0"
@@ -82,7 +86,11 @@ __all__ = [
     "RunReport",
     "NULL_TELEMETRY",
     "PrecomputeCache",
+    "ConstraintMonitor",
+    "VerificationReport",
+    "verify_run",
     "ReproError",
+    "VerificationError",
     "CacheError",
     "ParameterError",
     "IntegrationError",

@@ -6,6 +6,7 @@ Subcommands mirror what a LINGER/PLINGER user did at the shell:
 * ``run``       — integrate a k-grid (serial or PLINGER) and archive it
 * ``spectrum``  — C_l band powers from an archive (hierarchy method)
 * ``scaling``   — the Fig. 1 schedule simulation on a 1995 machine
+* ``verify``    — Einstein-constraint monitors + differential oracles
 """
 
 from __future__ import annotations
@@ -104,6 +105,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_spec = sub.add_parser("spectrum", help="C_l from an archive")
     p_spec.add_argument("archive")
     p_spec.add_argument("--l-max", type=int, default=None)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="run the Einstein-constraint verification suite",
+        description="Integrate the golden k-grid with constraint "
+                    "monitors attached, evaluate the differential and "
+                    "analytic oracles, and compare every measured "
+                    "residual against the tolerance-budget registry "
+                    "(repro/verify/tolerances.py).  Exit 0 iff every "
+                    "check is within budget.")
+    p_ver.add_argument("--model", choices=sorted(MODELS), default="scdm")
+    p_ver.add_argument("--fast", action="store_true",
+                       help="skip the expensive legs (PLINGER path "
+                            "oracle, gauge cross-check, auxiliary "
+                            "acoustic mode)")
+    p_ver.add_argument("--report", metavar="PATH", default=None,
+                       help="write the JSON check report here")
 
     p_scal = sub.add_parser("scaling", help="Fig. 1 schedule simulation")
     p_scal.add_argument("--machine", choices=sorted(MACHINES),
@@ -269,6 +287,17 @@ def cmd_spectrum(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from .verify import verify_run
+
+    report = verify_run(model=args.model, fast=args.fast, progress=True)
+    print(report.format_table())
+    if args.report:
+        report.save(args.report)
+        print(f"verification report written to {args.report}")
+    return 0 if report.passed else 1
+
+
 def cmd_scaling(args) -> int:
     machine = MACHINES[args.machine]
     cm = paper_cost_model()
@@ -290,6 +319,7 @@ def main(argv=None) -> int:
         "info": cmd_info,
         "run": cmd_run,
         "spectrum": cmd_spectrum,
+        "verify": cmd_verify,
         "scaling": cmd_scaling,
     }
     return handlers[args.command](args)

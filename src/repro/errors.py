@@ -27,6 +27,11 @@ class ScheduleError(ReproError, RuntimeError):
     """The cluster schedule simulator received an inconsistent setup."""
 
 
+class VerificationError(ReproError, AssertionError):
+    """A verification check (constraint monitor, differential oracle,
+    analytic-limit oracle) exceeded its tolerance budget."""
+
+
 class CacheError(ReproError, RuntimeError):
     """The precompute table cache was misused or a backend failed."""
 

@@ -44,7 +44,13 @@ class KGrid:
 
     @classmethod
     def from_k(cls, k, largest_first: bool = True) -> "KGrid":
-        k = np.sort(np.asarray(k, dtype=float))
+        """Build a grid from any positive k-sample.
+
+        Input is sorted ascending and deduplicated (the master must
+        never dispatch the same wavenumber twice); the constructor
+        still rejects duplicates, so hand-built grids stay strict.
+        """
+        k = np.unique(np.asarray(k, dtype=float))
         order = np.argsort(-k) if largest_first else np.arange(k.size)
         return cls(k=k, dispatch_order=order)
 

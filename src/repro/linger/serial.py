@@ -80,11 +80,16 @@ def compute_mode(
     ik: int,
     config: LingerConfig,
     telemetry: Telemetry = NULL_TELEMETRY,
+    monitor=None,
 ) -> tuple[ModeHeader, ModePayload, ModeResult]:
     """Integrate one wavenumber and build the two output records.
 
     This is exactly the work between "receive a wavenumber" and "send
     the results to the master" in the paper's worker subroutine.
+
+    ``monitor`` is an optional per-record-point observer (a
+    :class:`~repro.verify.constraints.ConstraintMonitor`) forwarded to
+    :func:`~repro.perturbations.evolve.evolve_mode`.
     """
     tau_end = background.tau0 if config.tau_end is None else config.tau_end
     lmax = config.lmax_for_k(k, tau_end)
@@ -110,6 +115,7 @@ def compute_mode(
         tca_eps=config.tca_eps,
         amplitude=config.amplitude,
         telemetry=telemetry,
+        monitor=monitor,
     )
     cpu = time.process_time() - cpu0
     if telemetry.enabled:
@@ -167,6 +173,7 @@ def compute_modes_batch(
     iks,
     config: LingerConfig,
     telemetry: Telemetry = NULL_TELEMETRY,
+    monitors=None,
 ) -> list[tuple[ModeHeader, ModePayload, ModeResult]]:
     """Integrate a chunk of wavenumbers together (one lane per mode).
 
@@ -210,6 +217,7 @@ def compute_modes_batch(
         tca_eps=config.tca_eps,
         amplitude=config.amplitude,
         telemetry=telemetry,
+        monitors=monitors,
     )
     cpu = (time.process_time() - cpu0) / len(ks)
     if telemetry.enabled:
@@ -267,6 +275,10 @@ class LingerResult:
     background: Background
     thermo: ThermalHistory
     wall_seconds: float = 0.0
+    #: per-mode constraint residual histories (ascending k), populated
+    #: by ``run_linger(monitor_constraints=True)``; each entry is a
+    #: :class:`~repro.verify.constraints.ModeConstraintResiduals`
+    constraints: list = field(default_factory=list)
 
     @property
     def k(self) -> np.ndarray:
@@ -302,6 +314,7 @@ def run_linger(
     telemetry: Telemetry = NULL_TELEMETRY,
     batch_size: int = 1,
     cache=None,
+    monitor_constraints: bool = False,
 ) -> LingerResult:
     """The serial LINGER main loop.
 
@@ -318,10 +331,23 @@ def run_linger(
     the background and thermal tables through the content-addressed
     store — a warm cache skips both solves, bit-identically — and its
     metrics land in the telemetry report's ``cache`` section.
+
+    ``monitor_constraints=True`` attaches one
+    :class:`~repro.verify.constraints.ConstraintMonitor` per mode: the
+    redundant Einstein-constraint residuals are evaluated at every
+    record point (a pure observation — trajectories are bit-identical
+    either way), collected in ``LingerResult.constraints`` and, when
+    telemetry is enabled, in the report's ``constraints`` section.
+    Requires ``config.record_sources``.
     """
     if batch_size < 1:
         raise ParameterError("batch_size must be >= 1")
     config = config or LingerConfig()
+    if monitor_constraints and not config.record_sources:
+        raise ParameterError(
+            "monitor_constraints=True requires config.record_sources=True "
+            "(the monitors sample the state at the record grid)"
+        )
     if background is None:
         background = (cache.background(params) if cache is not None
                       else Background(params))
@@ -330,6 +356,14 @@ def run_linger(
                   else ThermalHistory(background))
 
     nk = kgrid.nk
+    monitors: list = [None] * nk
+    if monitor_constraints:
+        # local import: repro.verify imports this module for the oracles
+        from ..verify.constraints import ConstraintMonitor
+
+        monitors = [
+            ConstraintMonitor(tau_rec=thermo.tau_rec) for _ in range(nk)
+        ]
     headers: list[ModeHeader | None] = [None] * nk
     payloads: list[ModePayload | None] = [None] * nk
     modes: list[ModeResult | None] = [None] * nk
@@ -344,6 +378,7 @@ def run_linger(
                     [float(kgrid.k[i]) for i in chunk],
                     [i + 1 for i in chunk],
                     config, telemetry=telemetry,
+                    monitors=[monitors[i] for i in chunk],
                 )
                 yield from zip(chunk, res)
         else:
@@ -351,6 +386,7 @@ def run_linger(
                 yield idx, compute_mode(
                     background, thermo, float(kgrid.k[idx]), ik=idx + 1,
                     config=config, telemetry=telemetry,
+                    monitor=monitors[idx],
                 )
 
     wall0 = time.perf_counter()
@@ -366,6 +402,13 @@ def run_linger(
                 f"cpu={header.cpu_seconds:.2f}s steps={payload.n_steps:.0f}"
             )
     wall = time.perf_counter() - wall0
+    constraints: list = []
+    if monitor_constraints:
+        for idx in range(nk):
+            residuals = monitors[idx].residuals()
+            constraints.append(residuals)
+            if telemetry.enabled:
+                telemetry.record_constraint(residuals.to_metrics(idx + 1))
     if telemetry.enabled:
         telemetry.timer("linger.wall").add(wall)
         telemetry.meta.setdefault("driver", "linger-serial")
@@ -386,4 +429,5 @@ def run_linger(
         background=background,
         thermo=thermo,
         wall_seconds=wall,
+        constraints=constraints,
     )

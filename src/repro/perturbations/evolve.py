@@ -148,14 +148,22 @@ def default_record_grid(
 
 
 class _Recorder:
-    """Accumulates observables into preallocated arrays."""
+    """Accumulates observables into preallocated arrays.
 
-    def __init__(self, system: PerturbationSystem, n: int) -> None:
+    ``monitor`` is an optional pure observer called as
+    ``monitor(tau, y, tight)`` after each sample is recorded (see
+    ``repro.verify.ConstraintMonitor``); it sees the same full state at
+    the same grid times and must not mutate ``y``.
+    """
+
+    def __init__(self, system: PerturbationSystem, n: int,
+                 monitor=None) -> None:
         self.system = system
         self.arrays = {name: np.full(n, np.nan) for name in RECORD_FIELDS}
         self.tau = np.full(n, np.nan)
         self.i = 0
         self.tight = True
+        self.monitor = monitor
 
     def __call__(self, tau: float, y: np.ndarray) -> None:
         s = self.system
@@ -213,6 +221,8 @@ class _Recorder:
         arr["psi"][i] = pots.psi
         arr["kappa_dot"][i] = kappa_dot
         self.i += 1
+        if self.monitor is not None:
+            self.monitor(tau, y, self.tight)
 
 
 def find_tca_exit(
@@ -260,6 +270,7 @@ def evolve_mode(
     driver_cls: type[RKDriver] = DVERK,
     max_steps: int = 2_000_000,
     telemetry: Telemetry = NULL_TELEMETRY,
+    monitor=None,
 ) -> ModeResult:
     """Evolve one wavenumber and return its records and final state.
 
@@ -272,6 +283,12 @@ def evolve_mode(
     :class:`~repro.telemetry.report.ModeMetrics`; the default no-op
     collector measures nothing and the integration is bit-identical
     either way.
+
+    ``monitor`` (optional) is called as ``monitor(tau, y, tight)`` at
+    every record point — the hook the Einstein-constraint verification
+    subsystem (``repro.verify``) uses to sample residuals along the
+    production trajectory.  Like telemetry, it is a pure observer: the
+    integration is bit-identical with or without it.
     """
     tau_end = background.tau0 if tau_end is None else float(tau_end)
     nq_eff = nq if background.params.omega_nu > 0 else 0
@@ -282,6 +299,8 @@ def evolve_mode(
         lmax_massive_nu=lmax_massive_nu if nq_eff else 0,
     )
     system = PerturbationSystem(background, thermo, k, layout)
+    if monitor is not None and hasattr(monitor, "bind"):
+        monitor.bind(system)
 
     t_init = tau_initial(k)
     if t_init >= tau_end:
@@ -312,7 +331,7 @@ def evolve_mode(
     ):
         raise ParameterError("record grid outside (tau_init, tau_end]")
 
-    recorder = _Recorder(system, record_tau.size)
+    recorder = _Recorder(system, record_tau.size, monitor=monitor)
     stats = IntegratorStats()
 
     # Phase 1: tight coupling ------------------------------------------

@@ -60,6 +60,7 @@ def evolve_modes_batched(
     initial_conditions: str = "adiabatic",
     max_steps: int = 2_000_000,
     telemetry: Telemetry = NULL_TELEMETRY,
+    monitors=None,
 ) -> list[ModeResult]:
     """Evolve a chunk of wavenumbers together; one ModeResult per lane.
 
@@ -67,6 +68,11 @@ def evolve_modes_batched(
     sequence of per-lane record grids (each an array or None).  All
     lanes share the multipole cutoffs — callers batching a k-grid must
     group modes of equal lmax into one chunk.
+
+    ``monitors`` is either None or a sequence of per-lane observers
+    (each a callable or None, see :class:`_Recorder`); each is bound to
+    its lane's *serial* system so monitor arithmetic is shared with the
+    per-mode reference path.
     """
     ks = np.asarray(ks, dtype=float)
     if ks.ndim != 1 or ks.size == 0:
@@ -128,7 +134,18 @@ def evolve_modes_batched(
             raise ParameterError("record grid outside (tau_init, tau_end]")
         grids.append(grid)
 
-    recorders = [_Recorder(systems[b], grids[b].size) for b in range(B)]
+    if monitors is None:
+        monitors = [None] * B
+    if len(monitors) != B:
+        raise ParameterError("monitors must have one entry per lane")
+    for b, mon in enumerate(monitors):
+        if mon is not None and hasattr(mon, "bind"):
+            mon.bind(systems[b])
+
+    recorders = [
+        _Recorder(systems[b], grids[b].size, monitor=monitors[b])
+        for b in range(B)
+    ]
     batch_stats = BatchStats()
 
     # Phase 1: tight coupling ------------------------------------------

@@ -17,6 +17,7 @@ from .metrics import Counter, Histogram, Timer
 from .report import (
     SCHEMA,
     BatchMetrics,
+    ConstraintMetrics,
     FaultReport,
     ModeMetrics,
     RankTraffic,
@@ -33,6 +34,7 @@ __all__ = [
     "Histogram",
     "ModeMetrics",
     "BatchMetrics",
+    "ConstraintMetrics",
     "RankTraffic",
     "WorkerMetrics",
     "FaultReport",

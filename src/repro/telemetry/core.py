@@ -23,6 +23,7 @@ from .metrics import Counter, Histogram, Timer
 from .report import (
     BatchMetrics,
     CacheMetrics,
+    ConstraintMetrics,
     FaultReport,
     ModeMetrics,
     RankTraffic,
@@ -54,6 +55,7 @@ class Telemetry:
         self.workers: list[WorkerMetrics] = []
         self.fault: FaultReport | None = None
         self.cache: CacheMetrics | None = None
+        self.constraints: list[ConstraintMetrics] = []
         self.meta: dict = {}
 
     # -- scalar metrics -----------------------------------------------------
@@ -98,6 +100,10 @@ class Telemetry:
         self.batches.append(batch)
         return batch
 
+    def record_constraint(self, metrics: ConstraintMetrics) -> None:
+        """Append one per-mode redundant-Einstein residual summary."""
+        self.constraints.append(metrics)
+
     def record_traffic(
         self,
         rank: int,
@@ -139,6 +145,7 @@ class Telemetry:
         return {
             "modes": [asdict(m) for m in self.modes],
             "batches": [asdict(b) for b in self.batches],
+            "constraints": [asdict(c) for c in self.constraints],
             "counters": {n: c.value for n, c in self.counters.items()},
             "timers": {n: t.as_dict() for n, t in self.timers.items()},
         }
@@ -149,6 +156,8 @@ class Telemetry:
             self.modes.append(ModeMetrics.from_dict(m))
         for b in payload.get("batches", []):
             self.batches.append(BatchMetrics.from_dict(b))
+        for c in payload.get("constraints", []):
+            self.constraints.append(ConstraintMetrics.from_dict(c))
         for name, value in payload.get("counters", {}).items():
             self.count(name, value)
         for name, d in payload.get("timers", {}).items():
@@ -171,6 +180,7 @@ class Telemetry:
             histograms={n: h.as_dict() for n, h in self.histograms.items()},
             fault=self.fault,
             cache=self.cache,
+            constraints=list(self.constraints),
         )
 
 
@@ -230,6 +240,9 @@ class NullTelemetry(Telemetry):
 
     def record_batch(self, **kwargs) -> None:  # type: ignore[override]
         return None
+
+    def record_constraint(self, metrics) -> None:
+        pass
 
     def record_traffic(self, rank, role, stats, tag_names=None) -> None:
         pass

@@ -24,11 +24,18 @@ __all__ = [
     "WorkerMetrics",
     "FaultReport",
     "CacheMetrics",
+    "ConstraintMetrics",
     "RunReport",
 ]
 
 #: Format identifier embedded in every serialized report.
 SCHEMA = "repro.telemetry.RunReport/v1"
+
+
+def _opt_max(values) -> float | None:
+    """max over the non-None entries, or None when there are none."""
+    present = [v for v in values if v is not None]
+    return max(present) if present else None
 
 
 def _json_default(obj):
@@ -286,6 +293,44 @@ class CacheMetrics:
 
 
 @dataclass
+class ConstraintMetrics:
+    """Redundant-Einstein residual summary for one wavenumber.
+
+    Produced by ``repro.verify.ConstraintMonitor`` when a run is driven
+    with ``monitor_constraints=True``: the maxima / RMS of the per-term
+    MB95 21c/21d evolution-equation residuals, the Thomson
+    momentum-exchange cancellation, and the hierarchy truncation
+    indicators, plus stride-decimated residual histories on the record
+    grid.  Maxima are ``None`` (not NaN — the JSON layout stays
+    round-trippable) when no valid sample exists, e.g. a mode recorded
+    only inside tight coupling.  Like ``batches``/``fault``/``cache``,
+    an additive v1 extension: reports without a ``constraints`` section
+    load unchanged.
+    """
+
+    k: float
+    ik: int = 0  #: 1-based grid index (0 = not assigned yet)
+    n_samples: int = 0
+    max_pressure_residual: float | None = None
+    rms_pressure_residual: float | None = None
+    max_shear_residual: float | None = None
+    rms_shear_residual: float | None = None
+    max_exchange_residual: float | None = None
+    #: max |F_lmax| / max|F_{0..2}| over the source era
+    truncation_photon: float | None = None
+    #: max |G_lmax| / max|G_{0..2}| over the source era
+    truncation_polarization: float | None = None
+    tau_history: list = field(default_factory=list)
+    pressure_history: list = field(default_factory=list)
+    shear_history: list = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ConstraintMetrics":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
 class RunReport:
     """Everything a telemetered run measured, ready for JSON."""
 
@@ -299,6 +344,7 @@ class RunReport:
     histograms: dict[str, dict] = field(default_factory=dict)
     fault: FaultReport | None = None
     cache: CacheMetrics | None = None
+    constraints: list[ConstraintMetrics] = field(default_factory=list)
     created_unix: float = field(default_factory=time.time)
 
     # -- aggregates ---------------------------------------------------------
@@ -336,6 +382,15 @@ class RunReport:
             "cache_misses": self.cache.misses if self.cache else 0,
             "cache_bytes_shared": self.cache.bytes_shared if self.cache
             else 0,
+            "constraints_monitored_modes": len(self.constraints),
+            "max_pressure_residual": _opt_max(
+                c.max_pressure_residual for c in self.constraints),
+            "max_shear_residual": _opt_max(
+                c.max_shear_residual for c in self.constraints),
+            "max_exchange_residual": _opt_max(
+                c.max_exchange_residual for c in self.constraints),
+            "max_truncation_photon": _opt_max(
+                c.truncation_photon for c in self.constraints),
         }
 
     # -- serialization ------------------------------------------------------
@@ -355,6 +410,7 @@ class RunReport:
             "histograms": dict(self.histograms),
             "fault": asdict(self.fault) if self.fault is not None else None,
             "cache": asdict(self.cache) if self.cache is not None else None,
+            "constraints": [asdict(c) for c in self.constraints],
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -378,6 +434,8 @@ class RunReport:
             if d.get("fault") is not None else None,
             cache=CacheMetrics.from_dict(d["cache"])
             if d.get("cache") is not None else None,
+            constraints=[ConstraintMetrics.from_dict(c)
+                         for c in d.get("constraints", [])],
             created_unix=float(d.get("created_unix", 0.0)),
         )
 

@@ -1,0 +1,162 @@
+"""Analytic-limit oracles: closed-form physics the records must hit.
+
+Each function here takes the same :class:`ModeResult` records the
+spectra pipeline consumes and reduces them to one dimensionless
+deviation from a textbook limit of the Einstein-Boltzmann system:
+
+* **super-horizon conservation** — the synchronous-gauge curvature
+  variable eta is frozen for the adiabatic growing mode up to
+  O((k tau)^2);
+* **adiabatic ratios** — delta_b = delta_c = (3/4) delta_g and
+  delta_nu = delta_g while the mode is outside the horizon;
+* **tight-coupling acoustic phase** — consecutive extrema of delta_g
+  are separated by a WKB phase advance of pi in
+  phi = integral k c_s dtau, c_s^2 = 1/(3 (1 + R_b)),
+  R_b = 3 rho_b / (4 rho_g);
+* **matter-era growth** — the sub-horizon CDM growing mode has
+  D(a) proportional to a in an Omega = 1 universe (log-log slope 1);
+* **Sachs-Wolfe plateau** — (delta_g/4 + psi) -> psi/3 at
+  recombination for k tau_rec -> 0 (Sachs & Wolfe 1967 in the
+  matter-era limit; SCDM recombines only ~5 a_eq after equality, so
+  the budget carries O(10-20%) early-ISW/radiation corrections).
+
+These are *oracles*, not regressions: they know the answer from theory,
+not from a frozen snapshot, so they stay valid across any refactor of
+the integration machinery.  Tolerances come from the
+:mod:`~repro.verify.tolerances` registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "superhorizon_eta_drift",
+    "adiabatic_ratio_deviation",
+    "acoustic_phase_deviation",
+    "matter_growth_slope",
+    "sachs_wolfe_ratio",
+]
+
+#: "Outside the horizon" for the super-horizon checks.
+KTAU_SUPERHORIZON = 0.3
+
+
+def _superhorizon_window(mode) -> np.ndarray:
+    sel = mode.k * mode.tau < KTAU_SUPERHORIZON
+    if np.count_nonzero(sel) < 3:
+        raise ParameterError(
+            f"mode k={mode.k:g} has {np.count_nonzero(sel)} record points "
+            f"with k tau < {KTAU_SUPERHORIZON}; use a smaller k or an "
+            "earlier record grid for the super-horizon oracles"
+        )
+    return sel
+
+
+def superhorizon_eta_drift(mode) -> float:
+    """max |eta(tau)/eta(first sample) - 1| while k tau < 0.3."""
+    sel = _superhorizon_window(mode)
+    eta = mode.records["eta"][sel]
+    if eta[0] == 0.0:
+        raise ParameterError("eta vanishes at the first record point")
+    return float(np.max(np.abs(eta / eta[0] - 1.0)))
+
+
+def adiabatic_ratio_deviation(mode) -> float:
+    """Worst relative deviation from the adiabatic relations
+    delta_b = delta_c = (3/4) delta_g, delta_nu = delta_g while the
+    mode is super-horizon."""
+    sel = _superhorizon_window(mode)
+    dg = mode.records["delta_g"][sel]
+    devs = [
+        np.abs(mode.records["delta_b"][sel] / (0.75 * dg) - 1.0),
+        np.abs(mode.records["delta_c"][sel] / (0.75 * dg) - 1.0),
+        np.abs(mode.records["delta_nu"][sel] / dg - 1.0),
+    ]
+    return float(max(np.max(d) for d in devs))
+
+
+def acoustic_phase_deviation(mode, params, min_extrema: int = 3) -> float:
+    """Worst |Delta phi / pi - 1| between consecutive extrema of
+    delta_g in the tight-coupling era.
+
+    ``phi(tau) = integral k c_s dtau`` with the full baryon-loaded
+    sound speed ``c_s^2 = r / (3 (1 + r))``, ``r = 4 rho_g/(3 rho_b)``
+    (so ``1/r`` is the usual baryon loading R_b).  Consecutive extrema
+    of a WKB oscillation are separated by Delta phi = pi; the envelope
+    drift shifts them by a few percent, which the registry budget
+    absorbs.  Needs a record grid dense through the pre-recombination
+    era and k large enough for ``min_extrema`` extrema (k r_s ~ a few).
+    """
+    tau = mode.tau
+    dg = mode.records["delta_g"]
+    a = mode.records["a"]
+    if tau.size < 16:
+        raise ParameterError("acoustic oracle needs a dense record grid")
+    # extrema = sign changes of the finite-difference slope
+    slope = np.diff(dg)
+    sign = np.sign(slope)
+    nz = sign != 0
+    idx = np.where(nz[:-1] & nz[1:] & (sign[:-1] != sign[1:]))[0] + 1
+    if idx.size < min_extrema:
+        raise ParameterError(
+            f"only {idx.size} delta_g extrema in the record window; "
+            f"need >= {min_extrema} (is k r_s large enough?)"
+        )
+    r = (4.0 * params.omega_gamma / (3.0 * params.omega_b)) / a
+    cs = np.sqrt(r / (3.0 * (1.0 + r)))
+    phi = np.concatenate(
+        ([0.0], np.cumsum(0.5 * (cs[1:] + cs[:-1]) * np.diff(tau)))
+    ) * mode.k
+    dphi = np.diff(phi[idx])
+    return float(np.max(np.abs(dphi / np.pi - 1.0)))
+
+
+def matter_growth_slope(mode, a_min: float = 0.05, a_max: float = 0.8
+                        ) -> float:
+    """Log-log slope of delta_c(a) over the matter era.
+
+    For a sub-horizon mode in an Omega = 1 universe the growing mode is
+    D(a) = a, so the slope must be 1 (the registry budget absorbs the
+    residual-radiation and decaying-mode corrections at a ~ 0.05).
+    """
+    a = mode.records["a"]
+    sel = (a >= a_min) & (a <= a_max)
+    if np.count_nonzero(sel) < 6:
+        raise ParameterError(
+            f"only {np.count_nonzero(sel)} record points in "
+            f"a in [{a_min}, {a_max}]"
+        )
+    dc = mode.records["delta_c"][sel]
+    if np.any(dc <= 0.0) and np.any(dc >= 0.0):
+        dc = np.abs(dc)
+    coef = np.polyfit(np.log(a[sel]), np.log(np.abs(dc)), 1)
+    return float(coef[0])
+
+
+def sachs_wolfe_ratio(mode, background, tau_rec: float) -> float:
+    """(Theta_0 + psi) / (psi/3) interpolated at recombination.
+
+    The Sachs-Wolfe limit for k tau_rec -> 0 in matter domination is
+    exactly 1 (the effective temperature perturbation is psi/3); use
+    the smallest-k mode of the grid so the limit applies.  The relation
+    holds for the conformal-Newtonian Theta_0, so the recorded
+    synchronous delta_g is gauge-shifted with MB95 eq. 27
+    (delta_con = delta_syn - 4 H alpha for photons, the convention
+    tests/test_gauge_equivalence.py pins) using the recorded alpha —
+    on super-horizon scales the two gauges differ at O(1).
+    """
+    tau = mode.tau
+    if not (tau[0] < tau_rec < tau[-1]):
+        raise ParameterError("record grid does not bracket tau_rec")
+    dg = np.interp(tau_rec, tau, mode.records["delta_g"])
+    alpha = np.interp(tau_rec, tau, mode.records["alpha"])
+    a_rec = np.interp(tau_rec, tau, mode.records["a"])
+    hc = background.conformal_hubble(a_rec)
+    theta0 = dg / 4.0 - hc * alpha
+    psi = np.interp(tau_rec, tau, mode.records["psi"])
+    if psi == 0.0:
+        raise ParameterError("psi vanishes at recombination")
+    return float((theta0 + psi) / (psi / 3.0))

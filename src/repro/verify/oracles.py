@@ -1,0 +1,191 @@
+"""Differential oracles: the same physics through independent code paths.
+
+Two families of cross-checks, both reporting *measured* deviations that
+the runner compares against the :mod:`~repro.verify.tolerances` budget:
+
+* **path oracle** — drive one k-grid through the serial per-mode loop,
+  the batched (B, n_state) engine, and the PLINGER master/worker
+  machinery, and compare the wire records (:class:`ModeHeader` /
+  :class:`ModePayload`) field by field.  The three paths share the
+  physics kernels but differ in every layer above them (stepping
+  schedule bookkeeping, lane parking, message packing), so agreement
+  at ``oracle.paths_*`` rules out whole classes of orchestration bugs.
+
+* **gauge oracle** — evolve one mode in the synchronous gauge and in
+  the independently-implemented conformal-Newtonian gauge and compare
+  the potentials and the gauge-invariant photon multipoles.  The two
+  integrations share *no* evolution equations, so this is a genuine
+  differential test of the physics, not of the plumbing.
+
+Each oracle returns a ``{check_name: measured_deviation}`` mapping; the
+caller owns the pass/fail decision (see :mod:`~repro.verify.runner`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from .tolerances import budget
+
+__all__ = [
+    "HEADER_PHYSICS_FIELDS",
+    "compare_header_fields",
+    "compare_payload_fields",
+    "paths_oracle",
+    "gauge_oracle",
+]
+
+#: ModeHeader fields carrying physics (not timing/accounting); the path
+#: oracle compares exactly these.
+HEADER_PHYSICS_FIELDS = (
+    "a_end", "delta_c", "delta_b", "delta_g", "delta_nu",
+    "delta_nu_massive", "theta_b", "theta_g", "theta_nu",
+    "eta", "hdot", "etadot", "phi", "psi", "delta_m",
+)
+
+
+def _rel_dev(a, b, tol) -> float:
+    """max |a - b| / max(|b|, atol) — the number compared to tol.rtol."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    scale = np.maximum(np.abs(b), tol.atol if tol.atol > 0 else 1e-300)
+    return float(np.max(np.abs(a - b) / scale)) if a.size else 0.0
+
+
+def compare_header_fields(ref, other, tol) -> float:
+    """Worst relative deviation across the physics fields of two
+    :class:`~repro.linger.records.ModeHeader` lists."""
+    if len(ref) != len(other):
+        raise ParameterError(
+            f"header lists differ in length: {len(ref)} vs {len(other)}"
+        )
+    worst = 0.0
+    for h_ref, h_other in zip(ref, other):
+        if h_ref.k != h_other.k:
+            raise ParameterError(
+                f"header k mismatch: {h_ref.k} vs {h_other.k}"
+            )
+        for name in HEADER_PHYSICS_FIELDS:
+            worst = max(worst, _rel_dev(getattr(h_other, name),
+                                        getattr(h_ref, name), tol))
+    return worst
+
+
+def compare_payload_fields(ref, other, tol) -> float:
+    """Worst relative deviation across the photon hierarchies of two
+    :class:`~repro.linger.records.ModePayload` lists.
+
+    The multipole vectors are compared against ``max |F_l|`` of the
+    reference payload, not element against element — the high-l tail
+    decays by many orders of magnitude and carries no downstream weight
+    at its own scale.
+    """
+    if len(ref) != len(other):
+        raise ParameterError(
+            f"payload lists differ in length: {len(ref)} vs {len(other)}"
+        )
+    worst = 0.0
+    for p_ref, p_other in zip(ref, other):
+        if p_ref.k != p_other.k:
+            raise ParameterError(
+                f"payload k mismatch: {p_ref.k} vs {p_other.k}"
+            )
+        for name in ("f_gamma", "g_gamma"):
+            a = np.asarray(getattr(p_other, name), dtype=float)
+            b = np.asarray(getattr(p_ref, name), dtype=float)
+            scale = max(float(np.max(np.abs(b))), tol.atol or 1e-300)
+            worst = max(worst, float(np.max(np.abs(a - b))) / scale)
+    return worst
+
+
+def paths_oracle(
+    params,
+    kgrid,
+    config,
+    background=None,
+    thermo=None,
+    batch_size: int = 4,
+    nproc: int = 3,
+    include_plinger: bool = True,
+) -> dict[str, float]:
+    """Serial vs batched vs PLINGER on one grid; measured deviations.
+
+    Returns ``{"paths_batched": dev, "paths_plinger": dev}`` (the
+    PLINGER entry only when ``include_plinger``), each the worst
+    header/payload deviation of that path against the serial reference.
+    ``config`` must have ``keep_mode_results=False`` so the identical
+    configuration is legal on all three paths.
+    """
+    from ..linger.serial import run_linger
+
+    if config.keep_mode_results:
+        raise ParameterError(
+            "paths_oracle needs keep_mode_results=False (the PLINGER "
+            "leg ships wire records only)"
+        )
+    serial = run_linger(params, kgrid, config, background=background,
+                        thermo=thermo)
+    background, thermo = serial.background, serial.thermo
+
+    out: dict[str, float] = {}
+
+    batched = run_linger(params, kgrid, config, background=background,
+                         thermo=thermo, batch_size=batch_size)
+    tol_b = budget("oracle.paths_batched")
+    out["paths_batched"] = max(
+        compare_header_fields(serial.headers, batched.headers, tol_b),
+        compare_payload_fields(serial.payloads, batched.payloads, tol_b),
+    )
+
+    if include_plinger:
+        from ..plinger.driver import run_plinger
+
+        plinger, _stats = run_plinger(
+            params, kgrid, config, nproc=nproc, backend="inprocess",
+            background=background, thermo=thermo,
+        )
+        tol_p = budget("oracle.paths_plinger")
+        out["paths_plinger"] = max(
+            compare_header_fields(serial.headers, plinger.headers, tol_p),
+            compare_payload_fields(serial.payloads, plinger.payloads, tol_p),
+        )
+    return out
+
+
+def gauge_oracle(
+    background,
+    thermo,
+    k: float = 0.05,
+    rtol: float = 1e-5,
+) -> dict[str, float]:
+    """Synchronous vs conformal-Newtonian evolution of one mode.
+
+    Returns ``{"gauge_potentials": dev, "gauge_multipoles": dev}``:
+    the worst relative deviation of phi/psi along the shared record
+    grid, and of the gauge-invariant photon multipoles F_l
+    (2 <= l <= 8) today, each normalized by the synchronous run's
+    maximum of the corresponding quantity.
+    """
+    from ..perturbations import (
+        default_record_grid,
+        evolve_mode,
+        evolve_mode_newtonian,
+    )
+
+    grid = default_record_grid(background, thermo, k)
+    syn = evolve_mode(background, thermo, k, record_tau=grid, rtol=rtol)
+    con = evolve_mode_newtonian(background, thermo, k, record_tau=grid,
+                                rtol=rtol)
+
+    pot_dev = 0.0
+    for name in ("phi", "psi"):
+        scale = float(np.max(np.abs(syn.records[name])))
+        diff = float(np.max(np.abs(con.records[name] - syn.records[name])))
+        pot_dev = max(pot_dev, diff / max(scale, 1e-300))
+
+    fs, fc = syn.f_gamma_final, con.f_gamma_final
+    scale = float(np.max(np.abs(fs[2:9])))
+    mult_dev = float(np.max(np.abs(fs[2:9] - fc[2:9]))) / max(scale, 1e-300)
+
+    return {"gauge_potentials": pot_dev, "gauge_multipoles": mult_dev}

@@ -37,6 +37,12 @@ def pytest_configure(config):
         "golden: golden-regression guardrail — physics outputs must match "
         "the frozen tests/data/golden_*.json files to rtol=1e-8",
     )
+    config.addinivalue_line(
+        "markers",
+        "property: hypothesis property tests — randomized structural "
+        "invariants (no physics integration); deselect with "
+        "-m 'not property'",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -400,6 +400,37 @@ class TestCachedRunsMatchGolden:
         assert report.totals["cache_bytes_shared"] == \
             cache.metrics.bytes_shared
 
+    def test_batched_warm_vs_cold_bitwise(self, scdm, fresh_dir):
+        """Cache warm vs cold through the batched engine: the cached
+        background/thermal tables must reproduce every wire record
+        *bitwise* — the cache claims bit-identical reloads, and the
+        batched engine must not launder a table difference into a
+        trajectory difference."""
+        kg, cfg = _golden_settings()
+        cold_cache = PrecomputeCache(fresh_dir)
+        cold = run_linger(scdm, kg, cfg, batch_size=4, cache=cold_cache)
+        assert cold_cache.metrics.misses == 2
+
+        warm_cache = PrecomputeCache(fresh_dir)
+        warm = run_linger(scdm, kg, cfg, batch_size=4, cache=warm_cache)
+        assert warm_cache.metrics.hits == 2
+        assert warm_cache.metrics.misses == 0
+
+        # slot 18 of the header wire format is cpu_seconds (timing,
+        # legitimately differs between runs); everything else is physics
+        # or deterministic accounting and must match to the last bit
+        # (equal_nan: delta_nu_massive is NaN on a massless-nu model)
+        physics = [i for i in range(21) if i != 18]
+        for hc, hw in zip(cold.headers, warm.headers):
+            assert np.array_equal(hc.pack()[physics], hw.pack()[physics],
+                                  equal_nan=True), (
+                f"warm-cache batched run drifted at k={hc.k:g}"
+            )
+        for pc, pw in zip(cold.payloads, warm.payloads):
+            assert np.array_equal(pc.pack(), pw.pack()), (
+                f"warm-cache batched payload drifted at k={pc.k:g}"
+            )
+
 
 # -- telemetry plumbing ------------------------------------------------------
 

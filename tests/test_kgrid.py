@@ -26,9 +26,16 @@ class TestKGrid:
         with pytest.raises(ParameterError):
             KGrid.from_k([-0.1, 0.2])
 
-    def test_duplicate_k_rejected(self):
+    def test_duplicate_k_deduplicated(self):
+        # from_k cleans duplicates (the master must never dispatch the
+        # same wavenumber twice)...
+        g = KGrid.from_k([0.1, 0.2, 0.1])
+        assert list(g.k) == [0.1, 0.2]
+
+    def test_duplicate_k_rejected_by_constructor(self):
+        # ...but the strict constructor still rejects them
         with pytest.raises(ParameterError):
-            KGrid.from_k([0.1, 0.1])
+            KGrid(k=np.array([0.1, 0.1]), dispatch_order=np.array([0, 1]))
 
     def test_bad_permutation_rejected(self):
         with pytest.raises(ParameterError):

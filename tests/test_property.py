@@ -1,0 +1,98 @@
+"""Hypothesis property tests: structural invariants under random input.
+
+These check the data-plumbing layers (wavenumber grids, wire records)
+for properties that must hold for *every* input, not just the
+hand-picked cases in the example-based tests:
+
+* ``KGrid.from_k`` always yields an ascending, duplicate-free grid
+  whose dispatch order is a permutation visiting the largest k first;
+* the ModeHeader / ModePayload wire round-trip (pack -> unpack) is
+  bit-identical for every finite float64 payload — the PLINGER wire
+  must never perturb physics values.
+
+All tests carry the ``property`` marker (deselect with
+``-m "not property"``); none of them integrates any physics, so the
+whole file runs in well under a second per example budget.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import KGrid
+from repro.linger.records import HEADER_LENGTH, ModeHeader, ModePayload
+
+pytestmark = pytest.mark.property
+
+#: Positive, finite, well-separated-from-overflow wavenumbers.
+ks = st.floats(min_value=1e-6, max_value=1e3,
+               allow_nan=False, allow_infinity=False)
+
+#: Any finite float64 — wire values must survive verbatim, including
+#: negatives, subnormal-adjacent magnitudes and huge exponents.
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestKGridProperties:
+    @given(st.lists(ks, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_sorted_and_deduplicated(self, k_list):
+        g = KGrid.from_k(k_list)
+        assert np.all(np.diff(g.k) > 0)
+        assert set(g.k.tolist()) == set(k_list)
+
+    @given(st.lists(ks, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_dispatch_order_is_permutation_largest_first(self, k_list):
+        g = KGrid.from_k(k_list)
+        assert sorted(g.dispatch_order.tolist()) == list(range(g.nk))
+        dispatched = g.k[g.dispatch_order]
+        assert np.all(np.diff(dispatched) < 0) or g.nk == 1
+        assert dispatched[0] == g.k.max()
+
+    @given(st.lists(ks, min_size=1, max_size=40),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_input_order_invariance(self, k_list, rng):
+        g1 = KGrid.from_k(k_list)
+        shuffled = list(k_list)
+        rng.shuffle(shuffled)
+        g2 = KGrid.from_k(shuffled)
+        assert np.array_equal(g1.k, g2.k)
+        assert np.array_equal(g1.dispatch_order, g2.dispatch_order)
+
+
+header_values = hnp.arrays(np.float64, (HEADER_LENGTH,), elements=finite)
+
+
+class TestRecordRoundTrip:
+    @given(header_values, st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_header_roundtrip_bit_identical(self, buf, lmax):
+        # slots 0 and 20 are int-coded on the wire (ik, lmax)
+        buf[0] = float(abs(int(buf[0]) % 100_000))
+        buf[20] = float(lmax)
+        header = ModeHeader.unpack(buf)
+        wire = header.pack()
+        assert wire.dtype == np.float64
+        assert np.array_equal(wire, buf)  # bitwise: exact equality
+        again = ModeHeader.unpack(wire)
+        assert again == header
+
+    @given(st.integers(min_value=0, max_value=64), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_payload_roundtrip_bit_identical(self, lmax, data):
+        buf = data.draw(
+            hnp.arrays(np.float64, (2 * lmax + 8,), elements=finite)
+        )
+        buf[0] = float(abs(int(buf[0]) % 100_000))
+        payload = ModePayload.unpack(buf, lmax)
+        assert payload.lmax == lmax
+        assert payload.wire_length == buf.size
+        wire = payload.pack()
+        assert np.array_equal(wire, buf)
+        again = ModePayload.unpack(wire, lmax)
+        assert np.array_equal(again.f_gamma, payload.f_gamma)
+        assert np.array_equal(again.g_gamma, payload.g_gamma)
