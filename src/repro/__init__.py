@@ -46,7 +46,15 @@ from .params import (
 )
 from .background import Background
 from .thermo import ThermalHistory
-from .linger import KGrid, LingerConfig, LingerResult, cl_kgrid, matter_kgrid, run_linger
+from .linger import (
+    KGrid,
+    LingerConfig,
+    LingerResult,
+    cl_kgrid,
+    matter_kgrid,
+    run_linger,
+    sparse_kgrid,
+)
 from .plinger import run_plinger
 from .perturbations import ModeResult, evolve_mode
 from .telemetry import NULL_TELEMETRY, RunReport, Telemetry
@@ -76,6 +84,7 @@ __all__ = [
     "KGrid",
     "cl_kgrid",
     "matter_kgrid",
+    "sparse_kgrid",
     "LingerConfig",
     "LingerResult",
     "run_linger",

@@ -69,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--batch-size", type=int, default=1, metavar="B",
                        help="integrate k-modes in vectorized batches of "
                             "up to B lanes (1 = per-mode reference path)")
+    p_run.add_argument("--sparse-k-factor", type=int, default=1,
+                       metavar="F",
+                       help="sparse-k fast path: integrate only every F-th "
+                            "wavenumber (plus the endpoints), spline the "
+                            "recorded sources across k, and report the "
+                            "line-of-sight C_l on the full grid; the "
+                            "archive then holds the coarse run "
+                            "(1 = integrate every mode)")
     p_run.add_argument("--backend", choices=["inprocess", "procs"],
                        default="procs",
                        help="PLINGER transport (with --parallel)")
@@ -183,6 +191,14 @@ def cmd_run(args) -> int:
             max_retries=args.max_retries,
             heartbeat_interval=args.heartbeat_interval,
         )
+    if args.sparse_k_factor > 1:
+        if args.parallel >= 2 and args.backend == "procs":
+            print("error: --sparse-k-factor needs the coarse mode results "
+                  "in master memory; forked workers (--backend procs) "
+                  "cannot share them — use --backend inprocess or drop "
+                  "--parallel", file=sys.stderr)
+            return 2
+        return _run_sparse(args, params, kgrid, telemetry, cache)
     if args.parallel >= 2:
         result, stats = run_plinger(params, kgrid, config,
                                     nproc=args.parallel,
@@ -226,6 +242,57 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _run_sparse(args, params, kgrid, telemetry, cache) -> int:
+    """``repro run --sparse-k-factor F``: the sparse-k fast path."""
+    from .spectra.sparse import run_sparse_cl
+
+    config = LingerConfig(
+        lmax_photon=args.lmax,
+        rtol=args.rtol,
+        nq=8 if params.omega_nu > 0 else 0,
+        # the fast path projects recorded sources, so this run keeps them
+        record_sources=True,
+        keep_mode_results=True,
+    )
+    res = run_sparse_cl(
+        params, kgrid, config,
+        sparse_factor=args.sparse_k_factor,
+        batch_size=args.batch_size,
+        backend=args.backend if args.parallel >= 2 else None,
+        nproc=args.parallel if args.parallel >= 2 else 4,
+        telemetry=telemetry, cache=cache,
+    )
+    m = res.metrics
+    print(f"sparse-k: integrated {m.n_coarse} of {m.n_dense} modes "
+          f"(factor {m.sparse_factor}, {m.exact_hits} exact hits, "
+          f"{m.interpolated} interpolated), "
+          f"~{m.est_seconds_saved:.1f} s saved")
+    cl = res.cl * cobe_normalization(res.l, res.cl, params.q_rms_ps_uk,
+                                     params.t_cmb)
+    bp = band_power_uk(res.l, cl, params.t_cmb)
+    print(format_table(
+        ["l", "C_l", "delta-T_l [uK]"],
+        [[int(li), float(ci), float(bi)]
+         for li, ci, bi in zip(res.l, cl, bp)],
+        title=f"sparse-k line-of-sight spectrum (factor "
+              f"{m.sparse_factor})",
+    ))
+    path = save_run(res.coarse_result, args.output)
+    print(f"coarse run archived to {path}")
+    if args.report:
+        report = telemetry.build_report(meta={
+            "model": args.model,
+            "command": "run",
+            "rtol": args.rtol,
+            "lmax": args.lmax,
+            "sparse_k_factor": args.sparse_k_factor,
+        })
+        report.save(args.report)
+        print(f"telemetry report written to {args.report}")
+        _print_report_summary(report)
+    return 0
+
+
 def _print_report_summary(report) -> None:
     """A terse, human-readable digest of a RunReport."""
     totals = report.totals
@@ -256,6 +323,18 @@ def _print_report_summary(report) -> None:
             rows.append(["cache bytes shared",
                          f"{cm.bytes_shared} ({cm.shared_backend}, "
                          f"{cm.workers_attached} workers)"])
+    if report.sparse is not None:
+        sm = report.sparse
+        rows.append(["sparse factor", sm.sparse_factor])
+        rows.append(["modes integrated / dense",
+                     f"{sm.n_coarse} / {sm.n_dense}"])
+        rows.append(["exact hits / interpolated",
+                     f"{sm.exact_hits} / {sm.interpolated}"])
+        if sm.interp_residual_max is not None:
+            rows.append(["k-spline residual (LOO max)",
+                         f"{sm.interp_residual_max:.3e}"])
+        rows.append(["est. seconds saved",
+                     f"{sm.est_seconds_saved:.3f}"])
     if report.fault is not None:
         fr = report.fault
         rows.append(["dead workers", len(fr.dead_workers)])

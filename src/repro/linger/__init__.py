@@ -9,7 +9,7 @@ largest-k-first ordering), the record formats, and the serial runner.
 """
 
 from .io import SavedRun, load_run, read_ascii_headers, save_run, write_ascii_headers
-from .kgrid import KGrid, cl_kgrid, matter_kgrid
+from .kgrid import KGrid, cl_kgrid, matter_kgrid, sparse_kgrid
 from .records import ModeHeader, ModePayload, HEADER_LENGTH
 from .serial import (
     LingerConfig,
@@ -24,6 +24,7 @@ __all__ = [
     "KGrid",
     "cl_kgrid",
     "matter_kgrid",
+    "sparse_kgrid",
     "ModeHeader",
     "ModePayload",
     "HEADER_LENGTH",

@@ -16,7 +16,7 @@ import numpy as np
 from ..background import Background
 from ..errors import ParameterError
 
-__all__ = ["KGrid", "cl_kgrid", "matter_kgrid"]
+__all__ = ["KGrid", "cl_kgrid", "matter_kgrid", "sparse_kgrid"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,28 @@ class KGrid:
 
     def __len__(self) -> int:
         return self.nk
+
+
+def sparse_kgrid(kgrid: KGrid, factor: int) -> KGrid:
+    """Coarse integration grid for the sparse-k fast path.
+
+    Following Doran (astro-ph/0503277), the Einstein-Boltzmann hierarchy
+    only needs integrating on a subset of the output grid: the LOS
+    source functions are smooth in k and can be splined onto the dense
+    grid afterwards.  This takes every ``factor``-th point of ``kgrid``
+    *plus both endpoints*, so the coarse grid brackets every dense k
+    (interpolation never extrapolates) and every coarse value is a
+    bitwise member of the dense grid (exact hits bypass the spline).
+
+    ``factor=1`` returns a grid with identical k values.
+    """
+    if int(factor) != factor or factor < 1:
+        raise ParameterError("sparse factor must be an integer >= 1")
+    factor = int(factor)
+    idx = np.arange(0, kgrid.nk, factor)
+    if idx[-1] != kgrid.nk - 1:
+        idx = np.append(idx, kgrid.nk - 1)
+    return KGrid.from_k(kgrid.k[idx])
 
 
 def cl_kgrid(

@@ -315,6 +315,7 @@ def run_linger(
     batch_size: int = 1,
     cache=None,
     monitor_constraints: bool = False,
+    sparse_k: int | None = None,
 ) -> LingerResult:
     """The serial LINGER main loop.
 
@@ -339,9 +340,21 @@ def run_linger(
     either way), collected in ``LingerResult.constraints`` and, when
     telemetry is enabled, in the report's ``constraints`` section.
     Requires ``config.record_sources``.
+
+    ``sparse_k`` (an integer factor > 1) integrates only the coarse
+    subset chosen by :func:`~repro.linger.kgrid.sparse_kgrid` and
+    returns the *coarse-grid* result; the sparse fast path
+    (:func:`~repro.spectra.sparse.sparse_cl`) splines its recorded
+    sources back onto the dense grid.
     """
     if batch_size < 1:
         raise ParameterError("batch_size must be >= 1")
+    if sparse_k is not None and sparse_k != 1:
+        from .kgrid import sparse_kgrid
+
+        kgrid = sparse_kgrid(kgrid, sparse_k)
+        if telemetry.enabled:
+            telemetry.meta.setdefault("sparse_k", int(sparse_k))
     config = config or LingerConfig()
     if monitor_constraints and not config.record_sources:
         raise ParameterError(

@@ -69,7 +69,8 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
                   with_telemetry: bool = False, batched: bool = False,
                   fault_tolerance: FaultTolerance | None = None,
                   params: CosmologyParams | None = None,
-                  use_cache: bool = False):
+                  use_cache: bool = False,
+                  mode_sink: dict | None = None):
     """Entry point for worker ranks (thread target / forked child).
 
     With telemetry on, the worker builds its own collector (forked
@@ -119,10 +120,14 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
 
     def attempt_mode(ik: int, cfg):
         k = float(kgrid.k[ik - 1])
-        header, payload, _ = compute_mode(
+        header, payload, mode = compute_mode(
             background, thermo, k, ik=ik, config=cfg,
             telemetry=telemetry,
         )
+        if mode_sink is not None:
+            # thread-hosted workers share the master's memory: park the
+            # full ModeResult for run_plinger(collect_modes=True)
+            mode_sink[ik] = mode
         return header, payload
 
     def compute(ik: int):
@@ -138,12 +143,14 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
     def compute_chunk(iks: list[int]):
         ks = [float(kgrid.k[ik - 1]) for ik in iks]
         try:
-            return [
-                (header, payload)
-                for header, payload, _ in compute_modes_batch(
-                    background, thermo, ks, iks, config, telemetry=telemetry,
-                )
-            ]
+            out = []
+            for header, payload, mode in compute_modes_batch(
+                background, thermo, ks, iks, config, telemetry=telemetry,
+            ):
+                if mode_sink is not None:
+                    mode_sink[header.ik] = mode
+                out.append((header, payload))
+            return out
         except IntegrationError:
             if not ladder:
                 raise
@@ -196,6 +203,7 @@ def run_plinger(
     world: World | None = None,
     cache: PrecomputeCache | None = None,
     bessel_l: np.ndarray | None = None,
+    collect_modes: bool = False,
 ) -> tuple[LingerResult, PlingerRunStats]:
     """Run PLINGER with ``nproc - 1`` workers plus the master.
 
@@ -233,11 +241,22 @@ def run_plinger(
     The manifest rides the wire as a tag-8 broadcast right after INIT;
     attachment counts land in ``cache.metrics`` (and the telemetry
     report's ``cache`` section).
+
+    ``collect_modes=True`` additionally fills ``result.modes`` with the
+    full per-mode records (the sparse-k fast path projects its sources
+    from them).  Only thread-hosted workers can do this — they share the
+    master's memory, so no wire-protocol change is needed — and it
+    requires ``config.keep_mode_results=True``; forked backends still
+    ship only the wire records.
     """
     if nproc < 2:
         raise MessagePassingError("PLINGER needs at least 1 worker (nproc >= 2)")
     config = config or LingerConfig(record_sources=False, keep_mode_results=False)
-    if config.keep_mode_results:
+    if collect_modes and not config.keep_mode_results:
+        raise ProtocolError(
+            "collect_modes=True requires config.keep_mode_results=True"
+        )
+    if config.keep_mode_results and not collect_modes:
         raise ProtocolError(
             "PLINGER ships only the wire records; run with "
             "keep_mode_results=False (use run_linger for source recording)"
@@ -267,6 +286,12 @@ def run_plinger(
     forked = hasattr(world, "launch")
     ft = fault_tolerance
     use_cache = cache is not None
+    if collect_modes and forked:
+        raise ProtocolError(
+            "collect_modes=True requires thread-hosted workers "
+            "(forked children share no memory with the master)"
+        )
+    mode_sink: dict | None = {} if collect_modes else None
 
     shared_block = None
     manifest_data = None
@@ -296,7 +321,7 @@ def run_plinger(
                     target=_worker_entry,
                     args=(world.handle(r), worker_bg, worker_th, kgrid,
                           config, telemetry.enabled, batched, ft, params,
-                          use_cache),
+                          use_cache, mode_sink),
                     daemon=True,
                 )
                 for r in range(1, nproc)
@@ -393,7 +418,8 @@ def run_plinger(
         config=config,
         headers=headers,  # type: ignore[arg-type]
         payloads=payloads,  # type: ignore[arg-type]
-        modes=[None] * nk,
+        modes=[mode_sink.get(i + 1) for i in range(nk)]
+        if mode_sink is not None else [None] * nk,
         background=background,
         thermo=thermo,
         wall_seconds=wall,

@@ -14,7 +14,14 @@ matter power spectrum (:mod:`matterpower`).
 """
 
 from .cl import cl_from_hierarchy, cl_integrate_over_k, los_l_grid
-from .los import SourceTable, cl_from_los, BesselCache
+from .los import (
+    SourceTable,
+    cl_from_los,
+    BesselCache,
+    interpolate_sources_k,
+    sources_from_result,
+)
+from .sparse import SparseClResult, coarse_subset, run_sparse_cl, sparse_cl
 from .matterpower import matter_power, sigma_r, transfer_function
 from .normalize import band_power_uk, cobe_normalization, qrms_ps_from_cl
 from .polarization import cl_ee_from_los, e_l_los, polarization_source
@@ -33,6 +40,12 @@ __all__ = [
     "SourceTable",
     "cl_from_los",
     "BesselCache",
+    "interpolate_sources_k",
+    "sources_from_result",
+    "SparseClResult",
+    "coarse_subset",
+    "run_sparse_cl",
+    "sparse_cl",
     "matter_power",
     "sigma_r",
     "transfer_function",

@@ -33,7 +33,11 @@ def los_l_grid(l_max: int, n: int = 40, l_min: int = 2) -> np.ndarray:
         raise ParameterError("l_max must be >= l_min")
     dense_top = min(12, l_max)
     dense = np.arange(l_min, dense_top + 1)
+    # geomspace endpoints carry exp(log x) float jitter (e.g. 7.999...),
+    # which astype(int) truncates below l_min when l_max < 12; clip so
+    # the grid never leaves [l_min, l_max].
     sparse = np.geomspace(dense_top, l_max, n).astype(int)
+    sparse = np.clip(sparse, l_min, l_max)
     return np.unique(np.concatenate([dense, sparse]))
 
 

@@ -39,7 +39,7 @@ from ..thermo import ThermalHistory
 from .cl import cl_integrate_over_k
 
 __all__ = ["SourceTable", "BesselCache", "cl_from_los", "theta_l_los",
-           "resolve_bessel"]
+           "resolve_bessel", "sources_from_result", "interpolate_sources_k"]
 
 
 @dataclass
@@ -265,6 +265,67 @@ def theta_l_los(
     return out
 
 
+def sources_from_result(linger_result) -> list[SourceTable]:
+    """One :class:`SourceTable` per mode of a recorded LINGER run.
+
+    Requires ``keep_mode_results=True`` and ``record_sources=True``;
+    both the dense LOS projection and the sparse-k fast path build on
+    this list.
+    """
+    modes = [m for m in linger_result.modes if m is not None]
+    if len(modes) != linger_result.kgrid.nk:
+        raise ParameterError(
+            "line-of-sight C_l needs a run with keep_mode_results=True "
+            "and record_sources=True"
+        )
+    tau0 = linger_result.background.tau0
+    return [
+        SourceTable.from_mode(m, linger_result.thermo, tau0) for m in modes
+    ]
+
+
+def interpolate_sources_k(
+    k_coarse: np.ndarray,
+    source_matrix: np.ndarray,
+    k_dense: np.ndarray,
+) -> np.ndarray:
+    """Spline source functions across wavenumber onto a dense k grid.
+
+    ``source_matrix`` holds S_T(k_i, tau_j) rows on a *shared* tau grid;
+    one stacked :class:`CubicSpline` over k fits every tau column at
+    once (same tridiagonal solve, n_tau right-hand sides).  Dense k that
+    are bitwise members of ``k_coarse`` copy their row verbatim instead
+    of evaluating the polynomial: PPoly evaluation at a breakpoint is
+    not guaranteed bit-identical, and the sparse fast path promises
+    exact hits cost nothing in accuracy.
+
+    Returns the (n_dense, n_tau) interpolated matrix.
+    """
+    k_coarse = np.asarray(k_coarse, dtype=float)
+    src = np.asarray(source_matrix, dtype=float)
+    k_dense = np.asarray(k_dense, dtype=float)
+    if k_coarse.ndim != 1 or k_coarse.size < 2:
+        raise ParameterError("need >= 2 coarse k nodes to interpolate")
+    if np.any(np.diff(k_coarse) <= 0.0):
+        raise ParameterError("coarse k grid must be strictly increasing")
+    if src.ndim != 2 or src.shape[0] != k_coarse.size:
+        raise ParameterError(
+            "source matrix must be (n_coarse, n_tau) matching k_coarse"
+        )
+    if k_dense.min() < k_coarse[0] or k_dense.max() > k_coarse[-1]:
+        raise ParameterError(
+            "dense k outside the coarse grid: interpolation would "
+            "extrapolate — the coarse grid must bracket every dense k"
+        )
+    out = CubicSpline(k_coarse, src, axis=0)(k_dense)
+    idx = np.minimum(
+        np.searchsorted(k_coarse, k_dense), k_coarse.size - 1
+    )
+    hit = k_coarse[idx] == k_dense
+    out[hit] = src[idx[hit]]
+    return out
+
+
 def cl_from_los(
     linger_result,
     l_values: np.ndarray,
@@ -278,16 +339,7 @@ def cl_from_los(
     :class:`~repro.cache.PrecomputeCache` as ``cache`` to reuse a
     persisted Bessel table across runs.
     """
-    modes = [m for m in linger_result.modes if m is not None]
-    if len(modes) != linger_result.kgrid.nk:
-        raise ParameterError(
-            "line-of-sight C_l needs a run with keep_mode_results=True "
-            "and record_sources=True"
-        )
-    tau0 = linger_result.background.tau0
-    sources = [
-        SourceTable.from_mode(m, linger_result.thermo, tau0) for m in modes
-    ]
+    sources = sources_from_result(linger_result)
     theta = theta_l_los(sources, l_values, bessel=bessel, cache=cache)
     cl = cl_integrate_over_k(
         linger_result.k, theta, n_s=linger_result.params.n_s

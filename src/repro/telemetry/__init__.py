@@ -22,6 +22,7 @@ from .report import (
     ModeMetrics,
     RankTraffic,
     RunReport,
+    SparseMetrics,
     WorkerMetrics,
 )
 
@@ -38,6 +39,7 @@ __all__ = [
     "RankTraffic",
     "WorkerMetrics",
     "FaultReport",
+    "SparseMetrics",
     "RunReport",
     "SCHEMA",
 ]

@@ -28,6 +28,7 @@ from .report import (
     ModeMetrics,
     RankTraffic,
     RunReport,
+    SparseMetrics,
     WorkerMetrics,
 )
 
@@ -56,6 +57,7 @@ class Telemetry:
         self.fault: FaultReport | None = None
         self.cache: CacheMetrics | None = None
         self.constraints: list[ConstraintMetrics] = []
+        self.sparse: SparseMetrics | None = None
         self.meta: dict = {}
 
     # -- scalar metrics -----------------------------------------------------
@@ -181,6 +183,7 @@ class Telemetry:
             fault=self.fault,
             cache=self.cache,
             constraints=list(self.constraints),
+            sparse=self.sparse,
         )
 
 

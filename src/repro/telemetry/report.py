@@ -25,6 +25,7 @@ __all__ = [
     "FaultReport",
     "CacheMetrics",
     "ConstraintMetrics",
+    "SparseMetrics",
     "RunReport",
 ]
 
@@ -331,6 +332,52 @@ class ConstraintMetrics:
 
 
 @dataclass
+class SparseMetrics:
+    """Accounting of one sparse-k fast-path C_l evaluation.
+
+    Written by :func:`~repro.spectra.sparse.sparse_cl`: how many modes
+    were actually integrated vs interpolated, leave-one-out residuals of
+    the k-spline at interior coarse nodes (the cheapest honest estimate
+    of the interpolation error), and the time the fast path saved
+    relative to integrating the dense grid.  Like ``batches``/``fault``/
+    ``cache``/``constraints``, an additive v1 extension: reports without
+    a ``sparse`` section load unchanged.
+    """
+
+    sparse_factor: int = 1
+    n_dense: int = 0  #: modes on the output (dense) grid
+    n_coarse: int = 0  #: modes actually integrated
+    exact_hits: int = 0  #: dense modes served bitwise from coarse runs
+    interpolated: int = 0  #: dense modes served by the k-spline
+    #: leave-one-out spline residual at interior coarse nodes, relative
+    #: to the max |S| of the held-out row (max / rms over nodes)
+    interp_residual_max: float | None = None
+    interp_residual_rms: float | None = None
+    integrate_seconds: float = 0.0  #: coarse-grid integration wall time
+    interp_seconds: float = 0.0  #: source stacking + k-spline wall time
+    project_seconds: float = 0.0  #: theta_l_los + k-quadrature wall time
+    #: dense-integration estimate (coarse seconds scaled by nk ratio)
+    est_dense_seconds: float = 0.0
+
+    @property
+    def est_seconds_saved(self) -> float:
+        """Estimated wall time the fast path saved vs dense integration."""
+        spent = (self.integrate_seconds + self.interp_seconds
+                 + self.project_seconds)
+        return max(self.est_dense_seconds - spent, 0.0)
+
+    @property
+    def mode_reduction(self) -> float:
+        """Dense-to-coarse mode-count ratio (>= 1)."""
+        return self.n_dense / self.n_coarse if self.n_coarse else 0.0
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SparseMetrics":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
 class RunReport:
     """Everything a telemetered run measured, ready for JSON."""
 
@@ -345,6 +392,7 @@ class RunReport:
     fault: FaultReport | None = None
     cache: CacheMetrics | None = None
     constraints: list[ConstraintMetrics] = field(default_factory=list)
+    sparse: SparseMetrics | None = None
     created_unix: float = field(default_factory=time.time)
 
     # -- aggregates ---------------------------------------------------------
@@ -391,6 +439,11 @@ class RunReport:
                 c.max_exchange_residual for c in self.constraints),
             "max_truncation_photon": _opt_max(
                 c.truncation_photon for c in self.constraints),
+            "sparse_factor": self.sparse.sparse_factor if self.sparse else 1,
+            "sparse_mode_reduction": self.sparse.mode_reduction
+            if self.sparse else 1.0,
+            "sparse_est_seconds_saved": self.sparse.est_seconds_saved
+            if self.sparse else 0.0,
         }
 
     # -- serialization ------------------------------------------------------
@@ -411,6 +464,7 @@ class RunReport:
             "fault": asdict(self.fault) if self.fault is not None else None,
             "cache": asdict(self.cache) if self.cache is not None else None,
             "constraints": [asdict(c) for c in self.constraints],
+            "sparse": asdict(self.sparse) if self.sparse is not None else None,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -436,6 +490,8 @@ class RunReport:
             if d.get("cache") is not None else None,
             constraints=[ConstraintMetrics.from_dict(c)
                          for c in d.get("constraints", [])],
+            sparse=SparseMetrics.from_dict(d["sparse"])
+            if d.get("sparse") is not None else None,
             created_unix=float(d.get("created_unix", 0.0)),
         )
 

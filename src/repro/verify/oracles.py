@@ -34,6 +34,7 @@ __all__ = [
     "compare_payload_fields",
     "paths_oracle",
     "gauge_oracle",
+    "sparse_cl_oracle",
 ]
 
 #: ModeHeader fields carrying physics (not timing/accounting); the path
@@ -151,6 +152,37 @@ def paths_oracle(
             compare_payload_fields(serial.payloads, plinger.payloads, tol_p),
         )
     return out
+
+
+def sparse_cl_oracle(
+    dense_result,
+    factor: int = 2,
+    l_values=None,
+) -> dict[str, float]:
+    """Dense vs sparse-k C_l on one recorded run; measured deviation.
+
+    The dense leg projects every mode of ``dense_result`` through the
+    line-of-sight pipeline; the sparse leg keeps only the
+    :func:`~repro.spectra.sparse.coarse_subset` at ``factor`` and
+    splines the dropped modes' sources back from their neighbours.
+    Both legs reuse the *same* integrations, so the oracle isolates
+    exactly the k-interpolation error — no integrator noise enters.
+    Requires ``record_sources=True`` and ``keep_mode_results=True``.
+
+    Returns ``{"sparse_cl": dev}``, the worst relative C_l deviation
+    over ``l_values`` (default 2..15).
+    """
+    from ..spectra.los import cl_from_los
+    from ..spectra.sparse import coarse_subset, sparse_cl
+
+    if l_values is None:
+        l_values = np.arange(2, 16)
+    l_values = np.asarray(l_values, dtype=int)
+    _, cl_dense = cl_from_los(dense_result, l_values)
+    res = sparse_cl(coarse_subset(dense_result, factor),
+                    dense_result.kgrid, l_values, sparse_factor=factor)
+    tol = budget("oracle.sparse_cl")
+    return {"sparse_cl": tol.max_rel_deviation(res.cl, cl_dense)}
 
 
 def gauge_oracle(

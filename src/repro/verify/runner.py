@@ -13,7 +13,10 @@ suite against one cosmology:
 4. re-runs the grid through the batched and PLINGER paths and compares
    the wire records against the serial reference (``oracle.paths_*``);
 5. cross-checks the synchronous integration against the independent
-   conformal-Newtonian code (``oracle.gauge_*``).
+   conformal-Newtonian code (``oracle.gauge_*``);
+6. replays the recorded run through the sparse-k fast path and compares
+   the line-of-sight C_l against the all-modes projection
+   (``oracle.sparse_cl``).
 
 Every check lands in a :class:`VerificationReport` as a
 (measured, threshold, passed) triple keyed by its tolerance-budget
@@ -36,7 +39,7 @@ from ..errors import VerificationError
 from ..util import format_table
 from . import analytic
 from .constraints import quality_residuals
-from .oracles import gauge_oracle, paths_oracle
+from .oracles import gauge_oracle, paths_oracle, sparse_cl_oracle
 from .tolerances import budget
 
 __all__ = ["VerificationCheck", "VerificationReport", "verify_run"]
@@ -285,6 +288,16 @@ def verify_run(
         report.checks.append(rk("oracle.gauge_multipoles",
                                 "gauge-invariant F_l (2<=l<=8)",
                                 gdevs["gauge_multipoles"], "k=0.05"))
+
+    if progress:
+        print("[verify] dense vs sparse-k C_l oracle...")
+    # both legs reuse the monitored integrations: the check isolates
+    # the sparse fast path's k-interpolation error
+    sdevs = sparse_cl_oracle(result, factor=2)
+    report.checks.append(mk("oracle.sparse_cl",
+                            "dense vs sparse-k C_l (LOS)",
+                            sdevs["sparse_cl"],
+                            "factor=2 on the golden grid, l=2..15"))
 
     report.wall_seconds = time.perf_counter() - wall0
     return report

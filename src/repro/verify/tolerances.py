@@ -182,6 +182,22 @@ TOLERANCES: dict[str, Tolerance] = {
                 "matches tests/test_gauge_equivalence.py."
             ),
         ),
+        Tolerance(
+            "oracle.sparse_cl", rtol=6e-2, atol=0.0,
+            provenance=(
+                "Dense vs sparse-k (factor 2) line-of-sight C_l on the "
+                "8-point geomspace verify grid, both legs sharing one set "
+                "of integrations so only the k-spline error enters; "
+                "measured ~3e-2 there (the verify grid is deliberately "
+                "tiny, so dropping every other node doubles an already "
+                "huge log-spacing).  Budget 6e-2 gives ~2x headroom while "
+                "still catching any structural fast-path bug (row "
+                "misalignment, wrong zero-fill era, gauge-term mix-up), "
+                "which shifts it to O(1).  Production accuracy is pinned "
+                "separately: test.sparse_fig2 bounds the FIG2 uniform "
+                "grid at 1e-3."
+            ),
+        ),
         # -- analytic-limit oracles ----------------------------------------
         Tolerance(
             "analytic.superhorizon_eta", atol=0.02,
@@ -236,6 +252,23 @@ TOLERANCES: dict[str, Tolerance] = {
                 "must agree — truncation reflection needs ~(lmax/k) of "
                 "free-streaming to propagate back to l <= 2, so the "
                 "source era is converged at sub-percent level."
+            ),
+        ),
+        Tolerance(
+            "test.sparse_fig2", rtol=1e-3, atol=0.0,
+            provenance=(
+                "Sparse-k C_l vs the dense (factor-1) reference on the "
+                "FIG2 quadrature grid (uniform cl_kgrid to l=600 at 8 "
+                "points per period, ~1030 modes): the issue's acceptance "
+                "criterion — at least 4x fewer integrated modes at "
+                "<= 1e-3 relative C_l error.  Measured 2.3e-5 at factor "
+                "4 (4.0x) and 7.3e-4 at factor 10 (9.8x); the residual "
+                "peaks at l <= 3, where the coarse grid thins the few "
+                "nodes under the large-scale integrand support (the "
+                "k-spline error scales as (factor * dk)^4 once the "
+                "acoustic structure is resolved).  Enforced by "
+                "benchmarks/bench_table_sparse.py and the convergence "
+                "suite in tests/test_sparse.py."
             ),
         ),
         Tolerance(

@@ -54,6 +54,36 @@ class TestCommands:
         # the quadrupole line carries the COBE normalization
         assert "27.89" in out
 
+    def test_sparse_run_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "coarse.npz"
+        report_file = tmp_path / "rep.json"
+        assert main([
+            "run", "--nk", "9", "--k-min", "1e-3", "--k-max", "1e-2",
+            "--lmax", "8", "--rtol", "3e-4", "--sparse-k-factor", "4",
+            "--report", str(report_file), "--output", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sparse-k: integrated 3 of 9 modes" in out
+        assert out_file.exists()
+        report = RunReport.from_dict(json.loads(report_file.read_text()))
+        assert report.sparse is not None
+        assert report.sparse.sparse_factor == 4
+        assert report.totals["sparse_mode_reduction"] == 3.0
+        assert report.meta["sparse_k_factor"] == 4
+
+    def test_sparse_rejects_forked_backend(self, tmp_path, capsys):
+        """The fast path needs the coarse mode results in master
+        memory: forked workers must be refused cleanly, not crash."""
+        rc = main([
+            "run", "--nk", "9", "--k-min", "1e-3", "--k-max", "1e-2",
+            "--lmax", "8", "--rtol", "3e-4", "--sparse-k-factor", "3",
+            "--parallel", "3", "--backend", "procs",
+            "--output", str(tmp_path / "x.npz"),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--backend inprocess" in err
+
     def test_run_with_telemetry_report(self, tmp_path, capsys):
         """`run --report` on a 4-mode parallel run emits a RunReport
         with per-mode integrator metrics, per-tag message counts and

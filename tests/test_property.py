@@ -96,3 +96,66 @@ class TestRecordRoundTrip:
         again = ModePayload.unpack(wire, lmax)
         assert np.array_equal(again.f_gamma, payload.f_gamma)
         assert np.array_equal(again.g_gamma, payload.g_gamma)
+
+
+class TestSparseKGridProperties:
+    @given(st.lists(ks, min_size=2, max_size=60, unique=True),
+           st.integers(min_value=1, max_value=12))
+    @settings(max_examples=200, deadline=None)
+    def test_subset_sorted_deduped_with_endpoints(self, k_list, factor):
+        from repro.linger.kgrid import sparse_kgrid
+
+        dense = KGrid.from_k(k_list)
+        coarse = sparse_kgrid(dense, factor)
+        assert np.all(np.diff(coarse.k) > 0)
+        # every coarse value is a bitwise member of the dense grid
+        assert np.isin(coarse.k, dense.k).all()
+        # both endpoints survive, whatever the stride
+        assert coarse.k[0] == dense.k[0]
+        assert coarse.k[-1] == dense.k[-1]
+
+    @given(st.lists(ks, min_size=2, max_size=60, unique=True),
+           st.integers(min_value=1, max_value=12))
+    @settings(max_examples=200, deadline=None)
+    def test_every_dense_k_is_bracketed(self, k_list, factor):
+        from repro.linger.kgrid import sparse_kgrid
+
+        dense = KGrid.from_k(k_list)
+        coarse = sparse_kgrid(dense, factor)
+        assert np.all(dense.k >= coarse.k[0])
+        assert np.all(dense.k <= coarse.k[-1])
+        # consecutive coarse nodes are at most `factor` dense steps apart
+        pos = np.searchsorted(dense.k, coarse.k)
+        assert np.all(np.diff(pos) <= factor)
+
+    @given(st.lists(ks, min_size=1, max_size=60, unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_factor_one_is_identity(self, k_list):
+        from repro.linger.kgrid import sparse_kgrid
+
+        dense = KGrid.from_k(k_list)
+        assert np.array_equal(sparse_kgrid(dense, 1).k, dense.k)
+
+
+class TestSourceInterpolationProperties:
+    @given(st.lists(ks, min_size=4, max_size=24, unique=True),
+           st.integers(min_value=2, max_value=16),
+           st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_coarse_nodes_come_back_bitwise(self, k_list, n_tau, data):
+        """Rows at coarse nodes survive interpolation bit-identically:
+        the exact-hit path must never round-trip through the spline."""
+        from repro.spectra.los import interpolate_sources_k
+
+        k_coarse = np.sort(np.asarray(k_list, dtype=float))
+        rows = data.draw(
+            hnp.arrays(np.float64, (k_coarse.size, n_tau),
+                       elements=st.floats(min_value=-1e6, max_value=1e6,
+                                          allow_nan=False))
+        )
+        # dense grid = coarse nodes plus midpoints
+        mids = 0.5 * (k_coarse[:-1] + k_coarse[1:])
+        k_dense = np.unique(np.concatenate([k_coarse, mids]))
+        out = interpolate_sources_k(k_coarse, rows, k_dense)
+        idx = np.searchsorted(k_dense, k_coarse)
+        assert np.array_equal(out[idx], rows)

@@ -268,6 +268,36 @@ class TestPathsOracle:
                          LingerConfig(keep_mode_results=True))
 
 
+class TestSparseClOracle:
+    def test_within_budget_on_golden_grid(self, linger_small):
+        from repro.verify import sparse_cl_oracle
+
+        devs = sparse_cl_oracle(linger_small, factor=2)
+        measured = devs["sparse_cl"]
+        assert 0.0 < measured <= budget("oracle.sparse_cl").rtol
+        check = VerificationCheck.relative("oracle.sparse_cl",
+                                           "dense vs sparse-k C_l (LOS)",
+                                           measured)
+        assert check.passed
+        VerificationReport(model="scdm", fast=True,
+                           checks=[check]).raise_on_failure()  # no-op
+
+    def test_breach_raises(self, linger_small):
+        """Factor 4 leaves 3 nodes across two decades of the log-spaced
+        verify grid — the spline error blows past the budget, and the
+        report machinery must turn that into a VerificationError."""
+        from repro.verify import sparse_cl_oracle
+
+        devs = sparse_cl_oracle(linger_small, factor=4)
+        check = VerificationCheck.relative("oracle.sparse_cl",
+                                           "dense vs sparse-k C_l (LOS)",
+                                           devs["sparse_cl"])
+        assert not check.passed
+        rep = VerificationReport(model="scdm", fast=True, checks=[check])
+        with pytest.raises(VerificationError, match="sparse"):
+            rep.raise_on_failure()
+
+
 # -- runner / report ---------------------------------------------------------
 
 
