@@ -77,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "line-of-sight C_l on the full grid; the "
                             "archive then holds the coarse run "
                             "(1 = integrate every mode)")
+    p_run.add_argument("--rhs-kernel",
+                       choices=["python", "numba", "cext", "auto"],
+                       default="python",
+                       help="kernel for the hot full-phase RHS: 'python' "
+                            "(reference, bitwise-pinned), 'numba' or 'cext' "
+                            "(compiled, ~same values within the verify "
+                            "budget), 'auto' (fastest available); an "
+                            "unavailable kernel falls back to python")
     p_run.add_argument("--backend", choices=["inprocess", "procs"],
                        default="procs",
                        help="PLINGER transport (with --parallel)")
@@ -175,6 +183,7 @@ def cmd_run(args) -> int:
         nq=8 if params.omega_nu > 0 else 0,
         record_sources=False,
         keep_mode_results=False,
+        rhs_kernel=args.rhs_kernel,
     )
     telemetry = Telemetry() if args.report else NULL_TELEMETRY
     cache = None
@@ -253,6 +262,7 @@ def _run_sparse(args, params, kgrid, telemetry, cache) -> int:
         # the fast path projects recorded sources, so this run keeps them
         record_sources=True,
         keep_mode_results=True,
+        rhs_kernel=args.rhs_kernel,
     )
     res = run_sparse_cl(
         params, kgrid, config,

@@ -131,6 +131,7 @@ class BatchedRKDriver:
         min_factor: float = 0.2,
         max_factor: float = 5.0,
         beta: float = 0.04,
+        flops_per_rhs: float | None = None,
     ) -> None:
         self.rhs = rhs
         self.tableau = tableau
@@ -144,14 +145,23 @@ class BatchedRKDriver:
         self.min_factor = min_factor
         self.max_factor = max_factor
         self.beta = beta
+        self.flops_per_rhs = flops_per_rhs
         self._K: np.ndarray | None = None  # stage buffer (s, B, n)
 
     # ------------------------------------------------------------------
 
     def _flops_per_step(self, n: int) -> int:
-        """Per-lane estimate, matching RKDriver._flops_per_step."""
+        """Per-lane estimate, matching RKDriver._flops_per_step.
+
+        When the caller provides ``flops_per_rhs`` (e.g. the
+        operator's structure census), the per-lane cost model is
+        *identical* to the serial driver's — telemetry flop totals
+        stay comparable across serial, batched and compiled paths.
+        """
         s = self.tableau.n_stages
-        rhs = 12.0 * n + 300.0
+        rhs = self.flops_per_rhs
+        if rhs is None:
+            rhs = 12.0 * n + 300.0
         tableau = n * (2 * s * (s - 1) + 2 * (s - 1) + 4 * s + 9)
         return int(round(s * rhs + tableau))
 

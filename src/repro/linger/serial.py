@@ -61,6 +61,11 @@ class LingerConfig:
     lmax_mode: str = "fixed"
     lmax_margin: float = 1.2
     lmax_cap: int = 2000
+    #: RHS kernel for the full (post-TCA) phase: "python" (default,
+    #: bitwise-pinned by the goldens), "numba"/"cext" (compiled, budgeted
+    #: by the oracle.rhs_kernel verify check) or "auto" (fastest
+    #: available).  Travels with the pickled config to PLINGER workers.
+    rhs_kernel: str = "python"
 
     def lmax_for_k(self, k: float, tau_span: float) -> int:
         if self.lmax_mode == "fixed":
@@ -116,6 +121,7 @@ def compute_mode(
         amplitude=config.amplitude,
         telemetry=telemetry,
         monitor=monitor,
+        rhs_kernel=config.rhs_kernel,
     )
     cpu = time.process_time() - cpu0
     if telemetry.enabled:
@@ -218,6 +224,7 @@ def compute_modes_batch(
         amplitude=config.amplitude,
         telemetry=telemetry,
         monitors=monitors,
+        rhs_kernel=config.rhs_kernel,
     )
     cpu = (time.process_time() - cpu0) / len(ks)
     if telemetry.enabled:

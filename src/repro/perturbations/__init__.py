@@ -19,6 +19,7 @@ potentials psi/phi, line-of-sight sources, transfer functions).
 """
 
 from .state import StateLayout
+from .operator import BoltzmannOperator, available_kernels
 from .initial import (
     adiabatic_initial_conditions,
     adiabatic_initial_conditions_newtonian,
@@ -35,6 +36,8 @@ from .tensors import TensorMode, cl_tensor, evolve_tensor_mode
 
 __all__ = [
     "StateLayout",
+    "BoltzmannOperator",
+    "available_kernels",
     "adiabatic_initial_conditions",
     "adiabatic_initial_conditions_newtonian",
     "isocurvature_initial_conditions",

@@ -1,0 +1,244 @@
+"""Packed-ABI RHS kernel: plain-Python reference + optional numba jit.
+
+:func:`kernel_rhs_full` is the scalar-loop evaluation of the packed
+operator structure (see ``BoltzmannOperator.pack``).  It is written in
+the numba-supported subset of Python so the *same function object* can
+be jitted when numba is importable, and still runs (slowly) as plain
+Python — which is how the test suite pins the packed evaluation order
+against the NumPy kernels even on machines without numba.
+
+ABI contract (shared with the C kernel in ``_rhs_cext``):
+
+``ints``  int64[16]
+    B, n_state, lmax_photon, lmax_nu, nq, lmax_massive_nu,
+    i_fg, i_gg, i_nl, i_psi, adv0, adv1, damp0, damp1, th_n, rf_n
+``flts``  float64[16]
+    gr_m, gr_gnl, gr_lam, gr_k, gr_c, gr_b, gr_g, gr_nl, gr_nu_rel,
+    r_coef, x0 (= m/T_nu0), I_RHO_MASSLESS, th_x0, th_dx, rf_x0, rf_dx
+``th_c``  (8, th_n)
+    cubic coefficients c3..c0 of ln kappa', then c3..c0 of ln cs2,
+    both on the uniform ln-a grid (th_x0, th_dx)
+``lane_c``  (4, B)
+    per-lane constants: k, k^2, 0.75 k, 4/(3k) — indexed by the
+    *absolute* lane number b
+``adv_lo``/``adv_hi``  (B, adv1-adv0)
+    fused advection coefficients for state columns [adv0, adv1),
+    indexed by absolute b
+``nu_pack``  (5, nq)
+    q nodes, dln f0/dln q, and the rho/q^3/q^4 quadrature weights
+``mnu_pack``  (2, lmax_massive_nu + 1)
+    massive hierarchy advection factors l/(2l+1), (l+1)/(2l+1)
+``rf_c``  (4, rf_n)
+    cubic coefficients of the massive-nu ln(rho-integral) spline on
+    the uniform ln-x grid (rf_x0, rf_dx)
+``tau``  float64[rows], ``Y``/``dY``  (rows, n_state)
+    rows = b1 - b0 lanes of state; lane b lives in row b - b0.
+
+The kernel computes the synchronous-gauge ``rhs_full`` only: the TCA
+phase is cold (a few hundred evaluations per mode) and stays on the
+python kernel, as does the conformal-Newtonian twin.
+
+Tolerance note: the compiled kernels replace BLAS dot products with
+simple accumulation loops and may regroup at the ulp level, so they
+are pinned by the ``oracle.rhs_kernel`` budget (rtol 1e-10), not the
+bitwise gate that ties the python kernels to the goldens.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["kernel_rhs_full", "get_numba"]
+
+
+def kernel_rhs_full(ints, flts, th_c, lane_c, adv_lo, adv_hi,
+                    nu_pack, mnu_pack, rf_c, tau, Y, dY, b0, b1):
+    B = ints[0]
+    lg = ints[2]
+    ln = ints[3]
+    nq = ints[4]
+    lm = ints[5]
+    i_fg = ints[6]
+    i_gg = ints[7]
+    i_nl = ints[8]
+    i_psi = ints[9]
+    adv0 = ints[10]
+    adv1 = ints[11]
+    damp0 = ints[12]
+    damp1 = ints[13]
+    th_n = ints[14]
+    rf_n = ints[15]
+    gr_m = flts[0]
+    gr_gnl = flts[1]
+    gr_lam = flts[2]
+    gr_k = flts[3]
+    gr_c = flts[4]
+    gr_b = flts[5]
+    gr_g = flts[6]
+    gr_nl = flts[7]
+    gr_nu_rel = flts[8]
+    r_coef = flts[9]
+    x0 = flts[10]
+    irho = flts[11]
+    th_x0 = flts[12]
+    th_dx = flts[13]
+    rf_x0 = flts[14]
+    rf_dx = flts[15]
+
+    for b in range(b0, b1):
+        bi = b - b0
+        t = tau[bi]
+        k = lane_c[0, b]
+        k2 = lane_c[1, b]
+        k075 = lane_c[2, b]
+        k43i = lane_c[3, b]
+
+        # -- background factors -------------------------------------------
+        a = Y[bi, 0]
+        a2 = a * a
+        grho = gr_m / a + gr_gnl / a2 + gr_lam * a * a
+        ax = a * x0
+        if nq > 0:
+            lx = math.log(ax)
+            i = int((lx - rf_x0) / rf_dx)
+            if i < 0:
+                i = 0
+            if i > rf_n - 1:
+                i = rf_n - 1
+            u = lx - (rf_x0 + i * rf_dx)
+            p = ((rf_c[0, i] * u + rf_c[1, i]) * u + rf_c[2, i]) * u + rf_c[3, i]
+            grho += gr_nu_rel / a2 * (math.exp(p) / irho)
+        hc = math.sqrt(grho + gr_k)
+
+        # -- fused thermo lookup ------------------------------------------
+        lna = math.log(a)
+        ti = int((lna - th_x0) / th_dx)
+        if ti < 0:
+            ti = 0
+        if ti > th_n - 1:
+            ti = th_n - 1
+        u = lna - (th_x0 + ti * th_dx)
+        kap = math.exp(
+            ((th_c[0, ti] * u + th_c[1, ti]) * u + th_c[2, ti]) * u + th_c[3, ti]
+        )
+        cs2 = math.exp(
+            ((th_c[4, ti] * u + th_c[5, ti]) * u + th_c[6, ti]) * u + th_c[7, ti]
+        )
+
+        # -- metric sources (Einstein constraints) ------------------------
+        inv_a = 1.0 / a
+        inv_a2 = inv_a * inv_a
+        gdrho = 1.5 * (
+            (gr_c * Y[bi, 3] + gr_b * Y[bi, 4]) * inv_a
+            + (gr_g * Y[bi, i_fg] + gr_nl * Y[bi, i_nl]) * inv_a2
+        )
+        theta_g = k075 * Y[bi, i_fg + 1]
+        theta_n = k075 * Y[bi, i_nl + 1]
+        gdq = 1.5 * (
+            gr_b * Y[bi, 5] * inv_a
+            + (4.0 / 3.0) * (gr_g * theta_g + gr_nl * theta_n) * inv_a2
+        )
+        if nq > 0:
+            s_rho = 0.0
+            s_q = 0.0
+            for j in range(nq):
+                epsj = math.sqrt(nu_pack[0, j] * nu_pack[0, j] + ax * ax)
+                base = i_psi + j * (lm + 1)
+                s_rho += (nu_pack[2, j] * epsj) * Y[bi, base]
+                s_q += nu_pack[3, j] * Y[bi, base + 1]
+            gdrho += 1.5 * gr_nu_rel * inv_a2 * s_rho
+            gdq += 1.5 * gr_nu_rel * inv_a2 * k * s_q
+        hdot = 2.0 * (k2 * Y[bi, 2] + gdrho) / hc
+        etadot = gdq / k2
+
+        dY[bi, 0] = a * hc
+        dY[bi, 1] = hdot
+        dY[bi, 2] = etadot
+        hdot23 = (2.0 / 3.0) * hdot
+        src2 = (4.0 / 15.0) * hdot + (8.0 / 5.0) * etadot
+
+        # -- CDM and baryons ----------------------------------------------
+        theta_b = Y[bi, 5]
+        r = r_coef / a
+        dY[bi, 3] = -0.5 * hdot
+        dY[bi, 4] = -theta_b - 0.5 * hdot
+        dY[bi, 5] = (
+            -hc * theta_b + cs2 * k2 * Y[bi, 4] + r * kap * (theta_g - theta_b)
+        )
+
+        # -- fused hierarchy advection ------------------------------------
+        for c in range(adv0, adv1):
+            dY[bi, c] = (
+                adv_lo[b, c - adv0] * Y[bi, c - 1]
+                - adv_hi[b, c - adv0] * Y[bi, c + 1]
+            )
+
+        # -- photon boundary rows, damping, Thomson sources ---------------
+        lg1_tau = (lg + 1.0) / t
+        dY[bi, i_fg] = (-k) * Y[bi, i_fg + 1] - hdot23
+        dY[bi, i_fg + lg] = (
+            k * Y[bi, i_fg + lg - 1] - lg1_tau * Y[bi, i_fg + lg]
+        )
+        dY[bi, i_gg] = (-k) * Y[bi, i_gg + 1]
+        dY[bi, i_gg + lg] = (
+            k * Y[bi, i_gg + lg - 1] - lg1_tau * Y[bi, i_gg + lg]
+        )
+        for c in range(damp0, damp1):
+            dY[bi, c] -= kap * Y[bi, c]
+        pi_pol = Y[bi, i_fg + 2] + Y[bi, i_gg] + Y[bi, i_gg + 2]
+        dY[bi, i_fg + 1] += kap * (k43i * theta_b - Y[bi, i_fg + 1])
+        dY[bi, i_fg + 2] += src2 + kap * (0.1 * pi_pol - Y[bi, i_fg + 2])
+        dY[bi, i_gg] += 0.5 * kap * pi_pol
+        dY[bi, i_gg + 2] += 0.1 * kap * pi_pol
+
+        # -- massless neutrinos -------------------------------------------
+        dY[bi, i_nl] = (-k) * Y[bi, i_nl + 1] - hdot23
+        dY[bi, i_nl + 2] += src2
+        dY[bi, i_nl + ln] = (
+            k * Y[bi, i_nl + ln - 1] - ((ln + 1.0) / t) * Y[bi, i_nl + ln]
+        )
+
+        # -- massive neutrinos --------------------------------------------
+        for j in range(nq):
+            epsj = math.sqrt(nu_pack[0, j] * nu_pack[0, j] + ax * ax)
+            qk = k * nu_pack[0, j] / epsj
+            base = i_psi + j * (lm + 1)
+            for l in range(1, lm):
+                dY[bi, base + l] = qk * (
+                    mnu_pack[0, l] * Y[bi, base + l - 1]
+                    - mnu_pack[1, l] * Y[bi, base + l + 1]
+                )
+            dY[bi, base + lm] = (
+                qk * Y[bi, base + lm - 1] - ((lm + 1.0) / t) * Y[bi, base + lm]
+            )
+            dY[bi, base] = (-qk) * Y[bi, base + 1] + (hdot / 6.0) * nu_pack[1, j]
+            dY[bi, base + 2] += (
+                -((1.0 / 15.0) * hdot + (2.0 / 5.0) * etadot) * nu_pack[1, j]
+            )
+
+
+_NUMBA_RESOLVED = False
+_NUMBA_FN = None
+
+
+def get_numba():
+    """The numba-jitted packed kernel, or None if numba is unavailable.
+
+    Resolved lazily and cached: importing numba is expensive and the
+    answer cannot change within a process.  ``fastmath`` stays off —
+    FP reassociation would break the oracle.rhs_kernel budget.
+    """
+    global _NUMBA_RESOLVED, _NUMBA_FN
+    if _NUMBA_RESOLVED:
+        return _NUMBA_FN
+    _NUMBA_RESOLVED = True
+    try:
+        import numba
+    except Exception:
+        _NUMBA_FN = None
+        return None
+    try:
+        _NUMBA_FN = numba.njit(cache=False, fastmath=False)(kernel_rhs_full)
+    except Exception:
+        _NUMBA_FN = None
+    return _NUMBA_FN

@@ -271,6 +271,7 @@ def evolve_mode(
     max_steps: int = 2_000_000,
     telemetry: Telemetry = NULL_TELEMETRY,
     monitor=None,
+    rhs_kernel: str = "python",
 ) -> ModeResult:
     """Evolve one wavenumber and return its records and final state.
 
@@ -289,6 +290,11 @@ def evolve_mode(
     subsystem (``repro.verify``) uses to sample residuals along the
     production trajectory.  Like telemetry, it is a pure observer: the
     integration is bit-identical with or without it.
+
+    ``rhs_kernel`` selects the evaluation kernel for the full-hierarchy
+    phase (``"python"``/``"numba"``/``"cext"``/``"auto"``; unavailable
+    kernels fall back to python).  The per-kernel evaluation counts and
+    wall-clock land in the telemetry ``RhsMetrics`` section.
     """
     tau_end = background.tau0 if tau_end is None else float(tau_end)
     nq_eff = nq if background.params.omega_nu > 0 else 0
@@ -298,7 +304,9 @@ def evolve_mode(
         nq=nq_eff,
         lmax_massive_nu=lmax_massive_nu if nq_eff else 0,
     )
-    system = PerturbationSystem(background, thermo, k, layout)
+    system = PerturbationSystem(background, thermo, k, layout,
+                               rhs_kernel=rhs_kernel,
+                               instrument=telemetry.enabled)
     if monitor is not None and hasattr(monitor, "bind"):
         monitor.bind(system)
 
@@ -338,7 +346,8 @@ def evolve_mode(
     wall0 = time.perf_counter() if telemetry.enabled else 0.0
     stops1 = record_tau[record_tau <= t_switch]
     drv1 = driver_cls(system.rhs_tca, rtol=rtol, atol=atol,
-                      max_steps=max_steps, first_step=first_step)
+                      max_steps=max_steps, first_step=first_step,
+                      flops_per_rhs=system.flops_per_eval())
     recorder.tight = True
     res1 = drv1.integrate(
         y0, t_init, t_switch,
@@ -354,7 +363,8 @@ def evolve_mode(
     recorder.tight = False
     stops2 = record_tau[record_tau > t_switch]
     drv2 = driver_cls(system.rhs_full, rtol=rtol, atol=atol,
-                      max_steps=max_steps, first_step=first_step)
+                      max_steps=max_steps, first_step=first_step,
+                      flops_per_rhs=system.flops_per_eval())
     res2 = drv2.integrate(
         y, t_switch, tau_end,
         stop_points=stops2,
@@ -375,6 +385,12 @@ def evolve_mode(
             tca_wall_seconds=wall1 - wall0,
             full_wall_seconds=wall2 - wall1,
             wall_seconds=wall2 - wall0,
+        )
+        telemetry.record_rhs(
+            requested=rhs_kernel,
+            active=system.rhs_kernel,
+            evals=dict(system.op.evals),
+            seconds=dict(system.op.seconds),
         )
 
     records = {name: arr[: recorder.i] for name, arr in recorder.arrays.items()}

@@ -37,7 +37,6 @@ from .initial import (
     isocurvature_initial_conditions,
 )
 from .state import StateLayout
-from .system import PerturbationSystem
 from .system_batched import PerturbationSystemBatch
 
 __all__ = ["evolve_modes_batched"]
@@ -61,6 +60,7 @@ def evolve_modes_batched(
     max_steps: int = 2_000_000,
     telemetry: Telemetry = NULL_TELEMETRY,
     monitors=None,
+    rhs_kernel: str = "python",
 ) -> list[ModeResult]:
     """Evolve a chunk of wavenumbers together; one ModeResult per lane.
 
@@ -73,6 +73,10 @@ def evolve_modes_batched(
     (each a callable or None, see :class:`_Recorder`); each is bound to
     its lane's *serial* system so monitor arithmetic is shared with the
     per-mode reference path.
+
+    ``rhs_kernel`` routes the full-hierarchy phase through the selected
+    operator kernel, exactly as in :func:`evolve_mode`; the TCA phase
+    and the scalar recording/hand-off paths always run python.
     """
     ks = np.asarray(ks, dtype=float)
     if ks.ndim != 1 or ks.size == 0:
@@ -86,13 +90,14 @@ def evolve_modes_batched(
         nq=nq_eff,
         lmax_massive_nu=lmax_massive_nu if nq_eff else 0,
     )
-    batch_system = PerturbationSystemBatch(background, thermo, ks, layout)
+    batch_system = PerturbationSystemBatch(background, thermo, ks, layout,
+                                           rhs_kernel=rhs_kernel,
+                                           instrument=telemetry.enabled)
     # one serial system per lane for every scalar code path (recording,
-    # hand-off, final observables) — shared with the reference
-    # implementation so the observables are computed identically
-    systems = [
-        PerturbationSystem(background, thermo, float(k), layout) for k in ks
-    ]
+    # hand-off, final observables) — lane views over the batch's own
+    # operator, so the coefficient structure is assembled exactly once
+    # and the scalar arithmetic is shared with the reference path
+    systems = [batch_system.lane_system(b) for b in range(B)]
 
     ic_builders = {
         "adiabatic": adiabatic_initial_conditions,
@@ -159,7 +164,8 @@ def evolve_modes_batched(
             recorders[b](t, y_row)
 
     drv1 = BatchedDVERK(batch_system.rhs_tca, rtol=rtol, atol=atol,
-                        max_steps=max_steps)
+                        max_steps=max_steps,
+                        flops_per_rhs=batch_system.flops_per_eval())
     res1 = drv1.integrate(Y0, t_init, t_switch, stop_points=stops1,
                           on_stop=on_stop1, stats=batch_stats)
 
@@ -179,7 +185,8 @@ def evolve_modes_batched(
             recorders[b](t, y_row)
 
     drv2 = BatchedDVERK(batch_system.rhs_full, rtol=rtol, atol=atol,
-                        max_steps=max_steps)
+                        max_steps=max_steps,
+                        flops_per_rhs=batch_system.flops_per_eval())
     t_end = np.full(B, tau_end)
     res2 = drv2.integrate(Y, t_switch, t_end, stop_points=stops2,
                           on_stop=on_stop2, stats=batch_stats)
@@ -212,6 +219,12 @@ def evolve_modes_batched(
             tca_wall_seconds=wall1 - wall0,
             full_wall_seconds=wall2 - wall1,
             wall_seconds=wall2 - wall0,
+        )
+        telemetry.record_rhs(
+            requested=rhs_kernel,
+            active=batch_system.rhs_kernel,
+            evals=dict(batch_system.op.evals),
+            seconds=dict(batch_system.op.seconds),
         )
 
     results: list[ModeResult] = []

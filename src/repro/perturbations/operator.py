@@ -1,0 +1,1120 @@
+"""The coefficient-driven Boltzmann operator: assemble once, evaluate fast.
+
+The MB95 synchronous-gauge hierarchy is a sparse, banded linear
+operator: the couplings between state entries never change, only a
+handful of per-tau coefficients (opacity, sound speed, conformal
+Hubble, the metric sources) do.  COSMICS (astro-ph/9506070) and CMBAns
+(arXiv:1910.00725) both build their k-loop speedups on exactly this
+assembly-vs-evaluate split.  :class:`BoltzmannOperator` makes the split
+explicit for this package:
+
+* **assembly** happens once per (layout, k-batch): the static index
+  structure (the fused advection window, the Thomson damping window,
+  the per-lane advection coefficient table, the frozen state-layout
+  offsets) plus the per-tau coefficient *sources* (uniform-grid splines
+  for opacity / sound speed / massive-neutrino background factors, and
+  the constant (8 pi G/3) density prefactors);
+
+* **evaluation** is a thin pass over that structure.  Three kernels
+  evaluate the same structure:
+
+  - ``python`` — the NumPy slice kernels, transplanted verbatim from
+    the previous hand-kept ``PerturbationSystem`` (scalar) and
+    ``PerturbationSystemBatch`` (lane) implementations, preserving
+    every expression grouping so existing goldens stay *bitwise*;
+  - ``cext``  — a small C translation of the same evaluation order,
+    lazily compiled with the system C compiler (see ``_rhs_cext``);
+  - ``numba`` — the same packed loop nest jitted with numba when it is
+    importable (see ``_rhs_numba``).
+
+Both :class:`~repro.perturbations.system.PerturbationSystem` and
+:class:`~repro.perturbations.system_batched.PerturbationSystemBatch`
+are thin drivers over one operator; the conformal-Newtonian twin reuses
+the gauge-independent helpers (photon/polarization advection + damping,
+hierarchy closures), keeping only its gauge-specific source terms
+local.  That removes the three hand-kept copies of the common MB95
+couplings that previous PRs had to pin together with oracles.
+
+The operator also carries the per-kernel evaluation counters and
+(optionally) per-kernel wall-clock that feed the ``RhsMetrics``
+telemetry section, and :meth:`flops_per_eval` — one deterministic
+multiply-add census of the assembled structure used by *both* the
+serial and batched integrators, so flop accounting is identical across
+paths.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..background import Background, dlnf0_dlnq, fermi_dirac_f0
+from ..background.nu_massive import I_RHO_MASSLESS, momentum_grid
+from ..errors import ParameterError
+from ..thermo import ThermalHistory
+from ..util.fastspline import UniformGridCubic
+from .state import StateLayout
+
+__all__ = ["BoltzmannOperator", "KERNELS", "available_kernels",
+           "resolve_kernel"]
+
+#: Requestable kernel names (``auto`` picks the fastest available).
+KERNELS = ("python", "numba", "cext", "auto")
+
+
+def available_kernels() -> tuple[str, ...]:
+    """The kernels this process can actually run, fastest-first."""
+    names = []
+    from . import _rhs_cext, _rhs_numba
+    if _rhs_cext.get_cext() is not None:
+        names.append("cext")
+    if _rhs_numba.get_numba() is not None:
+        names.append("numba")
+    names.append("python")
+    return tuple(names)
+
+
+def resolve_kernel(requested: str) -> str:
+    """Map a requested kernel name onto one this process can run.
+
+    ``numba``/``cext`` fall back to ``python`` when the accelerator is
+    unavailable (no import error, no warning — the active kernel is
+    recorded truthfully in the ``RhsMetrics`` telemetry section, which
+    is the observable a run report should trust).  ``auto`` picks the
+    first available compiled kernel, else ``python``.
+    """
+    if requested not in KERNELS:
+        raise ParameterError(
+            f"unknown rhs_kernel {requested!r}; choose from {KERNELS}"
+        )
+    avail = available_kernels()
+    if requested == "auto":
+        return avail[0]
+    if requested in avail:
+        return requested
+    return "python"
+
+
+def _exp_lanes(x: np.ndarray) -> np.ndarray:
+    """exp per lane via libm.
+
+    ``np.exp`` differs from ``math.exp`` by ulps; adaptive step-size
+    control amplifies those over thousands of steps into ~1e-7 state
+    drift, which would break golden-level (rtol=1e-8) equivalence with
+    the serial path.  B is small, so scalar libm calls are cheap.
+    (``tolist`` first: iterating a NumPy array yields slow np.float64
+    scalars, a Python list yields plain floats.)
+    """
+    return np.array([math.exp(v) for v in x.tolist()])
+
+
+def _log_lanes(x: np.ndarray) -> np.ndarray:
+    """log per lane via libm (see :func:`_exp_lanes`)."""
+    return np.array([math.log(v) for v in x.tolist()])
+
+
+class BoltzmannOperator:
+    """Precomputed coefficient structure for a batch of wavenumbers.
+
+    Parameters
+    ----------
+    background, thermo:
+        Precomputed background / thermal history (shared across modes).
+    ks:
+        Comoving wavenumbers [Mpc^-1], shape (B,).  A serial driver is
+        the B=1 special case evaluated through the scalar kernels.
+    layout:
+        The state-vector layout, shared by every lane.
+    q_max:
+        Upper edge of the massive-neutrino momentum grid (units of
+        T_nu0).
+    """
+
+    def __init__(
+        self,
+        background: Background,
+        thermo: ThermalHistory,
+        ks: np.ndarray,
+        layout: StateLayout,
+        q_max: float = 18.0,
+    ) -> None:
+        ks = np.asarray(ks, dtype=float)
+        if ks.ndim != 1 or ks.size == 0:
+            raise ParameterError("ks must be a non-empty 1-d array")
+        if np.any(ks <= 0.0):
+            raise ParameterError("every k must be positive")
+        p = background.params
+        self.params = p
+        self.background = background
+        self.thermo = thermo
+        self.ks = ks
+        self.k2 = ks * ks
+        self.B = int(ks.size)
+        self.layout = layout
+        self.q_max = float(q_max)
+        # plain-float copies for the scalar kernels: the serial system
+        # always worked in python floats, and float64-scalar vs
+        # np.float64 arithmetic is bitwise identical while plain floats
+        # are faster to pull out of a list
+        self._ks_f = [float(v) for v in ks]
+        self._k2_f = [float(v) for v in self.k2]
+
+        h0sq = p.h0_mpc**2
+        # (8 pi G / 3) a^2 rho_i prefactors (divide by the a-scaling at
+        # run time): grho83_i = pref_i / a^n.
+        self._gr_m = h0sq * (p.omega_c + p.omega_b)
+        self._gr_c = h0sq * p.omega_c
+        self._gr_b = h0sq * p.omega_b
+        self._gr_g = h0sq * p.omega_gamma
+        self._gr_nl = h0sq * p.omega_nu_massless
+        self._gr_lam = h0sq * p.omega_lambda
+        self._gr_k = h0sq * p.omega_k
+        self._r_coef = 4.0 * p.omega_gamma / (3.0 * p.omega_b)  # R = _r_coef/a
+
+        # Fast thermo lookups on the (uniform) ln-a grid:
+        # kappa' = xe * n_H0 sigma_T Mpc / a^2 and the baryon sound speed.
+        lna = thermo._lna
+        kap = thermo._opacity_from_xe(thermo._a, thermo._x_e_table)
+        self._ln_kap_spline = UniformGridCubic(lna, np.log(np.maximum(kap, 1e-300)))
+        cs2_tab = np.exp(thermo._cs2_spline(lna))
+        self._ln_cs2_spline = UniformGridCubic(lna, np.log(np.maximum(cs2_tab, 1e-300)))
+        # Both splines share the ln-a knot vector, so the hot path can
+        # compute the piece index once, gather all eight coefficient
+        # rows in a single fancy-index, and apply both polynomials.
+        sp = self._ln_kap_spline
+        sq = self._ln_cs2_spline
+        self._th_x0, self._th_dx, self._th_n = sp.x0, sp.dx, sp.n
+        self._th_c = np.ascontiguousarray(
+            [sp.c3, sp.c2, sp.c1, sp.c0, sq.c3, sq.c2, sq.c1, sq.c0]
+        )
+
+        # The layout's index properties recompute on access; the RHS
+        # runs thousands of times per mode, so freeze them here.
+        self._iA = layout.A
+        self._iH = layout.H
+        self._iETA = layout.ETA
+        self._iDC = layout.DELTA_C
+        self._iDB = layout.DELTA_B
+        self._iTB = layout.THETA_B
+        self._slfg = layout.sl_fg
+        self._slgg = layout.sl_gg
+        self._slnl = layout.sl_nl
+        self._slpsi = layout.sl_psi if layout.nq > 0 else None
+
+        # Massive neutrinos ------------------------------------------------
+        self.nq = layout.nq
+        if self.nq > 0:
+            if background.nu_tables is None:
+                raise ParameterError(
+                    "layout has a massive sector but the background has no "
+                    "massive neutrinos"
+                )
+            self._gr_nu_rel = (
+                h0sq
+                * p.n_nu_massive
+                * (7.0 / 8.0)
+                * (4.0 / 11.0) ** (4.0 / 3.0)
+                * p.omega_gamma
+            )
+            self._x0 = background.nu_tables.x0
+            q, w = momentum_grid(self.nq, q_max=q_max)
+            self.q_nodes = q
+            f0 = fermi_dirac_f0(q)
+            self._dlnf = dlnf0_dlnq(q)
+            self._w_rho = w * q**2 * f0 / I_RHO_MASSLESS
+            self._w_q3 = w * q**3 * f0 / I_RHO_MASSLESS
+            self._w_q4 = w * q**4 * f0 / I_RHO_MASSLESS
+            # uniform-in-ln(x) background factor splines
+            tab = background.nu_tables
+            lx = np.linspace(math.log(tab.x_min), math.log(tab.x_max), 600)
+            self._rho_fac = UniformGridCubic(lx, tab._log_rho_spline(lx))
+            self._p_fac = UniformGridCubic(lx, tab._log_p_spline(lx))
+            lm = layout.lmax_massive_nu
+            ell = np.arange(lm + 1, dtype=float)
+            self._mnu_lo = ell / (2.0 * ell + 1.0)
+            self._mnu_hi = (ell + 1.0) / (2.0 * ell + 1.0)
+        else:
+            self._gr_nu_rel = 0.0
+            self.q_nodes = np.empty(0)
+
+        # Hierarchy advection coefficients, one row per lane.  Grouped
+        # exactly as the serial system computed them — (k*l)/(2l+1),
+        # not k*(l/(2l+1)) — so row b is bitwise equal to the serial
+        # scalar coefficients for ks[b].
+        lg = layout.lmax_photon
+        ell = np.arange(lg + 1, dtype=float)
+        self._g_lo = ks[:, None] * ell / (2.0 * ell + 1.0)
+        self._g_hi = ks[:, None] * (ell + 1.0) / (2.0 * ell + 1.0)
+        ln = layout.lmax_nu
+        ell = np.arange(ln + 1, dtype=float)
+        self._n_lo = ks[:, None] * ell / (2.0 * ell + 1.0)
+        self._n_hi = ks[:, None] * (ell + 1.0) / (2.0 * ell + 1.0)
+
+        # Per-lane constants the serial system folds into scalars;
+        # groupings match the serial expressions bit for bit.
+        self._gr_gnl = self._gr_g + self._gr_nl
+        self._k075 = 0.75 * ks
+        self._neg_ks = -ks
+        self._k43i = 4.0 / (3.0 * ks)
+
+        # Global advection table: every hierarchy interior obeys
+        # dX_l = lo_l X_(l-1) - hi_l X_(l+1), so the fg, gg and nl
+        # blocks all advect in a single shifted-slice update over the
+        # contiguous [i_fg+1, i_nl+lmax_nu) column range.  Columns
+        # whose neighbors cross a block boundary (each block's l=0 and
+        # l=lmax) get zero coefficients; their rows are overwritten by
+        # the dedicated boundary/closure updates.
+        ns = layout.n_state
+        clo = np.zeros((self.B, ns))
+        chi = np.zeros((self.B, ns))
+        i_fg, i_gg, i_nl = layout.i_fg, layout.i_gg, layout.i_nl
+        clo[:, i_fg : i_fg + lg + 1] = self._g_lo
+        chi[:, i_fg : i_fg + lg + 1] = self._g_hi
+        clo[:, i_gg : i_gg + lg + 1] = self._g_lo
+        chi[:, i_gg : i_gg + lg + 1] = self._g_hi
+        clo[:, i_nl : i_nl + ln + 1] = self._n_lo
+        chi[:, i_nl : i_nl + ln + 1] = self._n_hi
+        for c in (i_fg + lg, i_gg, i_gg + lg, i_nl):
+            clo[:, c] = 0.0
+            chi[:, c] = 0.0
+        self._adv0 = i_fg + 1
+        self._adv1 = i_nl + ln
+        self._adv_lo = np.ascontiguousarray(clo[:, self._adv0 : self._adv1])
+        self._adv_hi = np.ascontiguousarray(chi[:, self._adv0 : self._adv1])
+
+        # Thomson damping region: every photon column whose damping is a
+        # bare ``- kappa_dot X`` term — F_(3..lmax) and G_(0..lmax) are
+        # adjacent in the layout, so one contiguous in-place subtraction
+        # covers them all.  F_1/F_2 carry their damping inside the
+        # baryon-coupling/source terms and are excluded.
+        self._damp0 = i_fg + 3
+        self._damp1 = i_gg + lg + 1
+
+        # -- kernel bookkeeping -------------------------------------------
+        #: lane-evaluations of rhs_full per kernel (rhs_tca always runs
+        #: the python kernel and counts there)
+        self.evals: dict[str, int] = {"python": 0, "numba": 0, "cext": 0}
+        #: wall-clock per kernel, populated only while ``instrument``
+        self.seconds: dict[str, float] = {"python": 0.0, "numba": 0.0,
+                                          "cext": 0.0}
+        #: when True, rhs_full dispatch wraps each call in perf_counter
+        self.instrument = False
+        self._packed = None
+        self._tau1 = np.zeros(1)
+
+    # ------------------------------------------------------------------
+    # Background pieces — scalar (serial hot path)
+    # ------------------------------------------------------------------
+
+    def grho83_s(self, a: float) -> float:
+        """(8 pi G / 3) a^2 rho_total [Mpc^-2]."""
+        g = (
+            self._gr_m / a
+            + (self._gr_g + self._gr_nl) / (a * a)
+            + self._gr_lam * a * a
+        )
+        if self.nq > 0:
+            g += self._gr_nu_rel / (a * a) * self.rho_factor_s(a)
+        return g
+
+    def rho_factor_s(self, a: float) -> float:
+        return math.exp(self._rho_fac(math.log(a * self._x0))) / I_RHO_MASSLESS
+
+    def pressure_factor_s(self, a: float) -> float:
+        return 3.0 * math.exp(self._p_fac(math.log(a * self._x0))) / I_RHO_MASSLESS
+
+    def gpres83_s(self, a: float) -> float:
+        """(8 pi G / 3) a^2 p_total [Mpc^-2]."""
+        g = (self._gr_g + self._gr_nl) / (3.0 * a * a) - self._gr_lam * a * a
+        if self.nq > 0:
+            g += (
+                self._gr_nu_rel
+                / (a * a)
+                * self.pressure_factor_s(a)
+                / 3.0
+            )
+        return g
+
+    def conformal_hubble_s(self, a: float) -> float:
+        return math.sqrt(self.grho83_s(a) + self._gr_k)
+
+    def opacity_s(self, a: float) -> float:
+        """Thomson opacity kappa' [Mpc^-1] (fast scalar path)."""
+        return math.exp(self._ln_kap_spline(math.log(a)))
+
+    def cs2_s(self, a: float) -> float:
+        return math.exp(self._ln_cs2_spline(math.log(a)))
+
+    def nu_eps_s(self, a: float) -> np.ndarray | None:
+        """Comoving energy eps = sqrt(q^2 + (a m/T)^2) per momentum node."""
+        if self.nq == 0:
+            return None
+        return np.sqrt(self.q_nodes**2 + (a * self._x0) ** 2)
+
+    # ------------------------------------------------------------------
+    # Background pieces — lanes (batched hot path)
+    # ------------------------------------------------------------------
+
+    def rho_factor_lanes(self, a: np.ndarray) -> np.ndarray:
+        lx = _log_lanes(a * self._x0)
+        return _exp_lanes(self._rho_fac.vector(lx)) / I_RHO_MASSLESS
+
+    def pressure_factor_lanes(self, a: np.ndarray) -> np.ndarray:
+        lx = _log_lanes(a * self._x0)
+        return 3.0 * _exp_lanes(self._p_fac.vector(lx)) / I_RHO_MASSLESS
+
+    def grho83_lanes(self, a: np.ndarray) -> np.ndarray:
+        g = (
+            self._gr_m / a
+            + self._gr_gnl / (a * a)
+            + self._gr_lam * a * a
+        )
+        if self.nq > 0:
+            g = g + self._gr_nu_rel / (a * a) * self.rho_factor_lanes(a)
+        return g
+
+    def gpres83_lanes(self, a: np.ndarray) -> np.ndarray:
+        g = (self._gr_g + self._gr_nl) / (3.0 * a * a) - self._gr_lam * a * a
+        if self.nq > 0:
+            g = g + (
+                self._gr_nu_rel / (a * a) * self.pressure_factor_lanes(a) / 3.0
+            )
+        return g
+
+    def conformal_hubble_lanes(self, a: np.ndarray) -> np.ndarray:
+        return np.sqrt(self.grho83_lanes(a) + self._gr_k)
+
+    def thermo_lookup_lanes(self, lna: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(kappa_dot, cs2) per lane with one shared piece-index lookup.
+
+        Same arithmetic as two ``UniformGridCubic.vector`` calls (both
+        splines sit on the same ln-a grid), at a quarter of the index
+        math: one clamp, one gather of all eight coefficient rows.
+        """
+        i = np.minimum(
+            np.maximum(((lna - self._th_x0) / self._th_dx).astype(int), 0),
+            self._th_n - 1,
+        )
+        t = lna - (self._th_x0 + i * self._th_dx)
+        C = self._th_c[:, i].reshape(2, 4, self.B)
+        P = ((C[:, 0] * t + C[:, 1]) * t + C[:, 2]) * t + C[:, 3]
+        e = np.array([math.exp(v) for v in P.ravel().tolist()])
+        return e[: self.B], e[self.B :]
+
+    def nu_eps_lanes(self, a: np.ndarray) -> np.ndarray | None:
+        """eps = sqrt(q^2 + (a m/T)^2), shape (B, nq)."""
+        if self.nq == 0:
+            return None
+        return np.sqrt(self.q_nodes[None, :] ** 2
+                       + (a[:, None] * self._x0) ** 2)
+
+    # ------------------------------------------------------------------
+    # Shared source sums — scalar
+    # ------------------------------------------------------------------
+
+    def psi_matrix_s(self, y: np.ndarray) -> np.ndarray:
+        lo = self.layout
+        return y[self._slpsi].reshape(lo.nq, lo.lmax_massive_nu + 1)
+
+    def metric_sources_s(self, b: int, y: np.ndarray, a: float, hc: float,
+                         eps: np.ndarray | None = None):
+        """hdot and etadot from the Einstein constraint equations.
+
+        Returns (hdot, etadot, gdrho, gdq) where gdrho = 4 pi G a^2
+        delta rho and gdq = 4 pi G a^2 (rho + p) theta.
+        """
+        fg = y[self._slfg]
+        nl = y[self._slnl]
+        k = self._ks_f[b]
+        k2 = self._k2_f[b]
+        inv_a = 1.0 / a
+        inv_a2 = inv_a * inv_a
+        gdrho = 1.5 * (
+            (self._gr_c * y[self._iDC] + self._gr_b * y[self._iDB]) * inv_a
+            + (self._gr_g * fg[0] + self._gr_nl * nl[0]) * inv_a2
+        )
+        theta_g = 0.75 * k * fg[1]
+        theta_n = 0.75 * k * nl[1]
+        gdq = 1.5 * (
+            self._gr_b * y[self._iTB] * inv_a
+            + (4.0 / 3.0) * (self._gr_g * theta_g + self._gr_nl * theta_n) * inv_a2
+        )
+        if self.nq > 0:
+            psi = self.psi_matrix_s(y)
+            if eps is None:
+                eps = self.nu_eps_s(a)
+            gdrho += 1.5 * self._gr_nu_rel * inv_a2 * float(
+                (self._w_rho * eps) @ psi[:, 0]
+            )
+            gdq += 1.5 * self._gr_nu_rel * inv_a2 * k * float(
+                self._w_q3 @ psi[:, 1]
+            )
+        hdot = 2.0 * (k2 * y[self._iETA] + gdrho) / hc
+        etadot = gdq / k2
+        return hdot, etadot, gdrho, gdq
+
+    def shear_sum_s(self, b: int, y: np.ndarray, a: float, sigma_g: float,
+                    eps: np.ndarray | None = None) -> float:
+        """4 pi G a^2 (rho + p) sigma summed over species [Mpc^-2]."""
+        inv_a2 = 1.0 / (a * a)
+        sigma_n = 0.5 * y[self._slnl][2]
+        gshear = 1.5 * (4.0 / 3.0) * (
+            self._gr_g * sigma_g + self._gr_nl * sigma_n
+        ) * inv_a2
+        if self.nq > 0:
+            psi = self.psi_matrix_s(y)
+            if eps is None:
+                eps = self.nu_eps_s(a)
+            gshear += 1.5 * self._gr_nu_rel * inv_a2 * (2.0 / 3.0) * float(
+                (self._w_q4 / eps) @ psi[:, 2]
+            )
+        return gshear
+
+    def sigma_gamma_tca(self, theta_g, hdot, etadot, kappa_dot):
+        """Quasi-static photon shear in tight coupling (with polarization).
+
+        Derived from the F2/G0/G2 quasi-equilibrium:
+        sigma_g = (2/(3 kappa')) [ (8/15) theta_g + (4/15) hdot + (8/5) etadot ].
+        Shape-agnostic: works for scalars and lane vectors alike.
+        """
+        return (2.0 / (3.0 * kappa_dot)) * (
+            (8.0 / 15.0) * theta_g + (4.0 / 15.0) * hdot + (8.0 / 5.0) * etadot
+        )
+
+    # ------------------------------------------------------------------
+    # Gauge-independent scalar sector pieces (shared with the
+    # conformal-Newtonian twin; every term here is identical in both
+    # gauges, and each writes state entries the gauge-specific caller
+    # does not, from reads of ``y`` only — so the split is bitwise-safe)
+    # ------------------------------------------------------------------
+
+    def photon_shared_s(self, b: int, tau: float, y: np.ndarray,
+                        dy: np.ndarray, kappa_dot: float) -> float:
+        """Photon temperature + polarization couplings common to both
+        gauges: interior advection, bare Thomson damping, the l=lmax
+        closures, and the full polarization block.  Returns Pi.
+
+        The caller supplies the gauge-specific monopole, the
+        baryon-coupled dipole source, and (synchronous only) the
+        quadrupole metric source.
+        """
+        fg = y[self._slfg]
+        gg = y[self._slgg]
+        dfg = dy[self._slfg]
+        dgg = dy[self._slgg]
+        lg = self.layout.lmax_photon
+        g_lo = self._g_lo[b]
+        g_hi = self._g_hi[b]
+        k = self._ks_f[b]
+        dfg[1:lg] = g_lo[1:lg] * fg[0 : lg - 1] - g_hi[1:lg] * fg[2 : lg + 1]
+        dfg[3:lg] -= kappa_dot * fg[3:lg]
+        pi_pol = fg[2] + gg[0] + gg[2]
+        dfg[lg] = k * fg[lg - 1] - (lg + 1.0) / tau * fg[lg] - kappa_dot * fg[lg]
+        dgg[1:lg] = g_lo[1:lg] * gg[0 : lg - 1] - g_hi[1:lg] * gg[2 : lg + 1]
+        dgg[0] = -k * gg[1]
+        dgg[0:lg] -= kappa_dot * gg[0:lg]
+        dgg[0] += 0.5 * kappa_dot * pi_pol
+        dgg[2] += 0.1 * kappa_dot * pi_pol
+        dgg[lg] = k * gg[lg - 1] - (lg + 1.0) / tau * gg[lg] - kappa_dot * gg[lg]
+        return pi_pol
+
+    def neutrino_advect_s(self, b: int, y: np.ndarray, dy: np.ndarray,
+                          tau: float) -> None:
+        """Massless hierarchy interior advection + l=lmax closure
+        (identical in both gauges; the caller writes the monopole and
+        the gauge's l<=2 metric sources)."""
+        nl = y[self._slnl]
+        dnl = dy[self._slnl]
+        lm = self.layout.lmax_nu
+        n_lo = self._n_lo[b]
+        n_hi = self._n_hi[b]
+        k = self._ks_f[b]
+        dnl[1:lm] = n_lo[1:lm] * nl[0 : lm - 1] - n_hi[1:lm] * nl[2 : lm + 1]
+        dnl[lm] = k * nl[lm - 1] - (lm + 1.0) / tau * nl[lm]
+
+    def massive_nu_advect_s(self, b: int, y: np.ndarray, dy: np.ndarray,
+                            tau: float, eps: np.ndarray):
+        """Massive hierarchy interior advection + closure; returns
+        (psi, dpsi, qk_eps) for the caller's gauge-specific sources."""
+        lo = self.layout
+        psi = self.psi_matrix_s(y)
+        dpsi = dy[self._slpsi].reshape(lo.nq, lo.lmax_massive_nu + 1)
+        lm = lo.lmax_massive_nu
+        qk_eps = self._ks_f[b] * self.q_nodes / eps  # (nq,)
+        dpsi[:, 1:lm] = qk_eps[:, None] * (
+            self._mnu_lo[1:lm] * psi[:, 0 : lm - 1]
+            - self._mnu_hi[1:lm] * psi[:, 2 : lm + 1]
+        )
+        dpsi[:, lm] = qk_eps * psi[:, lm - 1] - (lm + 1.0) / tau * psi[:, lm]
+        return psi, dpsi, qk_eps
+
+    # ------------------------------------------------------------------
+    # Sector fillers — scalar, synchronous gauge
+    # ------------------------------------------------------------------
+
+    def fill_neutrinos_s(self, b, y, dy, tau, hdot, etadot):
+        self.neutrino_advect_s(b, y, dy, tau)
+        nl = y[self._slnl]
+        dnl = dy[self._slnl]
+        dnl[0] = -self._ks_f[b] * nl[1] - (2.0 / 3.0) * hdot
+        dnl[2] += (4.0 / 15.0) * hdot + (8.0 / 5.0) * etadot
+
+    def fill_massive_nu_s(self, b, y, dy, tau, a, hdot, etadot, eps=None):
+        lo = self.layout
+        if lo.nq == 0:
+            return
+        if eps is None:
+            eps = self.nu_eps_s(a)
+        psi, dpsi, qk_eps = self.massive_nu_advect_s(b, y, dy, tau, eps)
+        dpsi[:, 0] = -qk_eps * psi[:, 1] + (hdot / 6.0) * self._dlnf
+        dpsi[:, 2] += -((1.0 / 15.0) * hdot + (2.0 / 5.0) * etadot) * self._dlnf
+
+    # ------------------------------------------------------------------
+    # Scalar kernels (python) — transplanted from the serial system
+    # ------------------------------------------------------------------
+
+    def rhs_full_s(self, b: int, tau: float, y: np.ndarray,
+                   dy: np.ndarray) -> np.ndarray:
+        dy[:] = 0.0
+        a = y[self._iA]
+        hc = self.conformal_hubble_s(a)
+        lna = math.log(a)
+        kappa_dot = math.exp(self._ln_kap_spline(lna))
+        cs2 = math.exp(self._ln_cs2_spline(lna))
+        k = self._ks_f[b]
+        eps = self.nu_eps_s(a)
+
+        dy[self._iA] = a * hc
+        hdot, etadot, _, _ = self.metric_sources_s(b, y, a, hc, eps=eps)
+        dy[self._iH] = hdot
+        dy[self._iETA] = etadot
+
+        # CDM and baryons
+        fg = y[self._slfg]
+        theta_b = y[self._iTB]
+        theta_g = 0.75 * k * fg[1]
+        r = self._r_coef / a
+        dy[self._iDC] = -0.5 * hdot
+        dy[self._iDB] = -theta_b - 0.5 * hdot
+        dy[self._iTB] = (
+            -hc * theta_b
+            + cs2 * self._k2_f[b] * y[self._iDB]
+            + r * kappa_dot * (theta_g - theta_b)
+        )
+
+        # Photon hierarchies: common couplings + synchronous sources
+        pi_pol = self.photon_shared_s(b, tau, y, dy, kappa_dot)
+        dfg = dy[self._slfg]
+        dfg[0] = -k * fg[1] - (2.0 / 3.0) * hdot
+        dfg[1] += kappa_dot * ((4.0 / (3.0 * k)) * theta_b - fg[1])
+        dfg[2] += (
+            (4.0 / 15.0) * hdot
+            + (8.0 / 5.0) * etadot
+            + kappa_dot * (0.1 * pi_pol - fg[2])
+        )
+
+        self.fill_neutrinos_s(b, y, dy, tau, hdot, etadot)
+        self.fill_massive_nu_s(b, y, dy, tau, a, hdot, etadot, eps=eps)
+        return dy
+
+    def rhs_tca_s(self, b: int, tau: float, y: np.ndarray,
+                  dy: np.ndarray) -> np.ndarray:
+        dy[:] = 0.0
+        a = y[self._iA]
+        hc = self.conformal_hubble_s(a)
+        lna = math.log(a)
+        kappa_dot = math.exp(self._ln_kap_spline(lna))
+        cs2 = math.exp(self._ln_cs2_spline(lna))
+        k = self._ks_f[b]
+        k2 = self._k2_f[b]
+        eps = self.nu_eps_s(a)
+
+        dy[self._iA] = a * hc
+        hdot, etadot, _, _ = self.metric_sources_s(b, y, a, hc, eps=eps)
+        dy[self._iH] = hdot
+        dy[self._iETA] = etadot
+
+        fg = y[self._slfg]
+        delta_g = fg[0]
+        theta_g = 0.75 * k * fg[1]
+        delta_b = y[self._iDB]
+        theta_b = y[self._iTB]
+        r = self._r_coef / a
+
+        sigma_g = self.sigma_gamma_tca(theta_g, hdot, etadot, kappa_dot)
+        ddelta_b = -theta_b - 0.5 * hdot
+        ddelta_g = -(4.0 / 3.0) * theta_g - (2.0 / 3.0) * hdot
+
+        # MB95 eq. (75): first-order slip theta_b' - theta_g'
+        addot_a = (
+            -0.5 * (self.grho83_s(a) + 3.0 * self.gpres83_s(a)) + hc * hc
+        )
+        slip = (2.0 * r / (1.0 + r)) * hc * (theta_b - theta_g) + (
+            1.0 / (kappa_dot * (1.0 + r))
+        ) * (
+            -addot_a * theta_b
+            - hc * k2 * 0.5 * delta_g
+            + k2 * (cs2 * ddelta_b - 0.25 * ddelta_g)
+        )
+
+        # MB95 eq. (74): combined momentum equation + slip
+        dtheta_b = (
+            -hc * theta_b
+            + cs2 * k2 * delta_b
+            + r * (k2 * (0.25 * delta_g - sigma_g))
+            + r * slip
+        ) / (1.0 + r)
+        dtheta_g = dtheta_b - slip
+
+        dy[self._iDC] = -0.5 * hdot
+        dy[self._iDB] = ddelta_b
+        dy[self._iTB] = dtheta_b
+        dfg = dy[self._slfg]
+        dfg[0] = ddelta_g
+        dfg[1] = (4.0 / (3.0 * k)) * dtheta_g
+        # F_(l>=2) and polarization are algebraically slaved; their state
+        # entries are synchronized at the hand-off to the full RHS.
+
+        self.fill_neutrinos_s(b, y, dy, tau, hdot, etadot)
+        self.fill_massive_nu_s(b, y, dy, tau, a, hdot, etadot, eps=eps)
+        return dy
+
+    def initialize_full_from_tca_s(self, b: int, y: np.ndarray,
+                                   tau: float) -> None:
+        """Populate the slaved moments when leaving tight coupling.
+
+        Sets F2 to the quasi-static shear and the polarization moments
+        to their tight-coupling equilibrium values
+        G0 = (5/4) F2, G2 = (1/4) F2 (from Pi = 5/2 F2).
+        """
+        a = y[self._iA]
+        hc = self.conformal_hubble_s(a)
+        kappa_dot = math.exp(self._ln_kap_spline(math.log(a)))
+        hdot, etadot, _, _ = self.metric_sources_s(b, y, a, hc)
+        theta_g = 0.75 * self._ks_f[b] * y[self._slfg][1]
+        sigma_g = self.sigma_gamma_tca(theta_g, hdot, etadot, kappa_dot)
+        fg = y[self._slfg]
+        gg = y[self._slgg]
+        fg[2] = 2.0 * sigma_g
+        fg[3:] = 0.0
+        gg[:] = 0.0
+        gg[0] = 1.25 * fg[2]
+        gg[2] = 0.25 * fg[2]
+
+    # ------------------------------------------------------------------
+    # Shared source sums — lanes
+    # ------------------------------------------------------------------
+
+    def psi_matrix_lanes(self, Y: np.ndarray) -> np.ndarray:
+        lo = self.layout
+        return Y[:, self._slpsi].reshape(self.B, lo.nq, lo.lmax_massive_nu + 1)
+
+    def metric_sources_lanes(self, Y: np.ndarray, a: np.ndarray,
+                             hc: np.ndarray,
+                             eps: np.ndarray | None = None):
+        """Per-lane hdot and etadot from the Einstein constraints."""
+        fg = Y[:, self._slfg]
+        nl = Y[:, self._slnl]
+        inv_a = 1.0 / a
+        inv_a2 = inv_a * inv_a
+        gdrho = 1.5 * (
+            (self._gr_c * Y[:, self._iDC] + self._gr_b * Y[:, self._iDB]) * inv_a
+            + (self._gr_g * fg[:, 0] + self._gr_nl * nl[:, 0]) * inv_a2
+        )
+        theta_g = self._k075 * fg[:, 1]
+        theta_n = self._k075 * nl[:, 1]
+        gdq = 1.5 * (
+            self._gr_b * Y[:, self._iTB] * inv_a
+            + (4.0 / 3.0) * (self._gr_g * theta_g + self._gr_nl * theta_n) * inv_a2
+        )
+        if self.nq > 0:
+            psi = self.psi_matrix_lanes(Y)
+            if eps is None:
+                eps = self.nu_eps_lanes(a)
+            # per-lane dots, the exact reductions the serial system does
+            # (einsum's summation order differs by ulps)
+            nu_rho = np.array([
+                float((self._w_rho * eps[b]) @ psi[b, :, 0])
+                for b in range(self.B)
+            ])
+            nu_q = np.array([
+                float(self._w_q3 @ psi[b, :, 1]) for b in range(self.B)
+            ])
+            gdrho = gdrho + 1.5 * self._gr_nu_rel * inv_a2 * nu_rho
+            gdq = gdq + 1.5 * self._gr_nu_rel * inv_a2 * self.ks * nu_q
+        hdot = 2.0 * (self.k2 * Y[:, self._iETA] + gdrho) / hc
+        etadot = gdq / self.k2
+        return hdot, etadot, gdrho, gdq
+
+    def shear_sum_lanes(self, Y: np.ndarray, a: np.ndarray,
+                        sigma_g: np.ndarray,
+                        eps: np.ndarray | None = None) -> np.ndarray:
+        inv_a2 = 1.0 / (a * a)
+        sigma_n = 0.5 * Y[:, self._slnl][:, 2]
+        gshear = 1.5 * (4.0 / 3.0) * (
+            self._gr_g * sigma_g + self._gr_nl * sigma_n
+        ) * inv_a2
+        if self.nq > 0:
+            psi = self.psi_matrix_lanes(Y)
+            if eps is None:
+                eps = self.nu_eps_lanes(a)
+            nu_shear = np.array([
+                float((self._w_q4 / eps[b]) @ psi[b, :, 2])
+                for b in range(self.B)
+            ])
+            gshear = gshear + 1.5 * self._gr_nu_rel * inv_a2 * (2.0 / 3.0) * nu_shear
+        return gshear
+
+    # ------------------------------------------------------------------
+    # Sector fillers — lanes
+    # ------------------------------------------------------------------
+
+    def fill_neutrinos_lanes(self, Y, dY, tau, hdot, etadot,
+                             hdot23=None, src2=None, advect=True):
+        """Massless hierarchy.  ``hdot23``/``src2`` are the shared
+        metric-source terms ``(2/3) hdot`` and ``(4/15) hdot +
+        (8/5) etadot`` when the caller already has them; rhs_full_lanes
+        passes ``advect=False`` because its global shifted-slice
+        update already advected this block."""
+        nl = Y[:, self._slnl]
+        dnl = dY[:, self._slnl]
+        lm = self.layout.lmax_nu
+        if hdot23 is None:
+            hdot23 = (2.0 / 3.0) * hdot
+        if src2 is None:
+            src2 = (4.0 / 15.0) * hdot + (8.0 / 5.0) * etadot
+        if advect:
+            dnl[:, 1:lm] = (self._n_lo[:, 1:lm] * nl[:, 0 : lm - 1]
+                            - self._n_hi[:, 1:lm] * nl[:, 2 : lm + 1])
+        dnl[:, 0] = self._neg_ks * nl[:, 1] - hdot23
+        dnl[:, 2] += src2
+        dnl[:, lm] = self.ks * nl[:, lm - 1] - (lm + 1.0) / tau * nl[:, lm]
+
+    def fill_massive_nu_lanes(self, Y, dY, tau, a, hdot, etadot, eps=None):
+        lo = self.layout
+        if lo.nq == 0:
+            return
+        psi = self.psi_matrix_lanes(Y)
+        dpsi = dY[:, self._slpsi].reshape(self.B, lo.nq, lo.lmax_massive_nu + 1)
+        lm = lo.lmax_massive_nu
+        if eps is None:
+            eps = self.nu_eps_lanes(a)
+        qk_eps = self.ks[:, None] * self.q_nodes[None, :] / eps  # (B, nq)
+        dpsi[:, :, 1:lm] = qk_eps[:, :, None] * (
+            self._mnu_lo[1:lm] * psi[:, :, 0 : lm - 1]
+            - self._mnu_hi[1:lm] * psi[:, :, 2 : lm + 1]
+        )
+        dpsi[:, :, 0] = (-qk_eps * psi[:, :, 1]
+                         + (hdot[:, None] / 6.0) * self._dlnf)
+        dpsi[:, :, 2] += (
+            -((1.0 / 15.0) * hdot + (2.0 / 5.0) * etadot)[:, None] * self._dlnf
+        )
+        dpsi[:, :, lm] = (qk_eps * psi[:, :, lm - 1]
+                          - ((lm + 1.0) / tau)[:, None] * psi[:, :, lm])
+
+    # ------------------------------------------------------------------
+    # Lane kernels (python) — transplanted from the batched system
+    # ------------------------------------------------------------------
+
+    def rhs_full_lanes(self, tau: np.ndarray, Y: np.ndarray,
+                       dY: np.ndarray) -> np.ndarray:
+        # No dY zeroing: every entry below is written by assignment
+        # before any in-place update reads it (rhs_tca_lanes, whose
+        # slaved block is *not* written, zeroes that block itself).
+        a = Y[:, self._iA]
+        a2 = a * a
+        # NB: gr_lam * a * a, not gr_lam * a2 — float multiplication is
+        # not associative and the scalar grho83_s groups left-to-right
+        grho = self._gr_m / a + self._gr_gnl / a2 + self._gr_lam * a * a
+        if self.nq > 0:
+            grho = grho + self._gr_nu_rel / a2 * self.rho_factor_lanes(a)
+            eps = self.nu_eps_lanes(a)
+        else:
+            eps = None
+        hc = np.sqrt(grho + self._gr_k)
+        lna = _log_lanes(a)
+        kappa_dot, cs2 = self.thermo_lookup_lanes(lna)
+        ks = self.ks
+
+        dY[:, self._iA] = a * hc
+        hdot, etadot, _, _ = self.metric_sources_lanes(Y, a, hc, eps=eps)
+        dY[:, self._iH] = hdot
+        dY[:, self._iETA] = etadot
+        hdot23 = (2.0 / 3.0) * hdot
+        src2 = (4.0 / 15.0) * hdot + (8.0 / 5.0) * etadot
+
+        # CDM and baryons
+        fg = Y[:, self._slfg]
+        gg = Y[:, self._slgg]
+        theta_b = Y[:, self._iTB]
+        theta_g = self._k075 * fg[:, 1]
+        r = self._r_coef / a
+        dY[:, self._iDC] = -0.5 * hdot
+        dY[:, self._iDB] = -theta_b - 0.5 * hdot
+        dY[:, self._iTB] = (
+            -hc * theta_b
+            + cs2 * self.k2 * Y[:, self._iDB]
+            + r * kappa_dot * (theta_g - theta_b)
+        )
+
+        # All three hierarchies (photon temperature, polarization,
+        # massless neutrinos) advect in one shifted-slice update; the
+        # block-boundary columns it writes are overwritten below.
+        s0, s1 = self._adv0, self._adv1
+        dY[:, s0:s1] = (self._adv_lo * Y[:, s0 - 1 : s1 - 1]
+                        - self._adv_hi * Y[:, s0 + 1 : s1 + 1])
+
+        lg = self.layout.lmax_photon
+        dfg = dY[:, self._slfg]
+        dgg = dY[:, self._slgg]
+        lg1_tau = (lg + 1.0) / tau
+        # Closure/boundary assignments first, with their bare damping
+        # terms left off; the contiguous region subtraction below adds
+        # each as the last term, preserving the serial left-to-right
+        # grouping ((a - b) - kappa_dot X) bit for bit.
+        dfg[:, 0] = self._neg_ks * fg[:, 1] - hdot23
+        dfg[:, lg] = ks * fg[:, lg - 1] - lg1_tau * fg[:, lg]
+        dgg[:, 0] = self._neg_ks * gg[:, 1]
+        dgg[:, lg] = ks * gg[:, lg - 1] - lg1_tau * gg[:, lg]
+        d0, d1 = self._damp0, self._damp1
+        dY[:, d0:d1] -= kappa_dot[:, None] * Y[:, d0:d1]
+        pi_pol = fg[:, 2] + gg[:, 0] + gg[:, 2]
+        dfg[:, 1] += kappa_dot * (self._k43i * theta_b - fg[:, 1])
+        dfg[:, 2] += src2 + kappa_dot * (0.1 * pi_pol - fg[:, 2])
+        dgg[:, 0] += 0.5 * kappa_dot * pi_pol
+        dgg[:, 2] += 0.1 * kappa_dot * pi_pol
+
+        self.fill_neutrinos_lanes(Y, dY, tau, hdot, etadot,
+                                  hdot23=hdot23, src2=src2, advect=False)
+        if self.nq > 0:
+            self.fill_massive_nu_lanes(Y, dY, tau, a, hdot, etadot, eps=eps)
+        return dY
+
+    def rhs_tca_lanes(self, tau: np.ndarray, Y: np.ndarray,
+                      dY: np.ndarray) -> np.ndarray:
+        dY[:] = 0.0
+        a = Y[:, self._iA]
+        hc = self.conformal_hubble_lanes(a)
+        lna = _log_lanes(a)
+        kappa_dot, cs2 = self.thermo_lookup_lanes(lna)
+        ks = self.ks
+        k2 = self.k2
+        eps = self.nu_eps_lanes(a)
+
+        dY[:, self._iA] = a * hc
+        hdot, etadot, _, _ = self.metric_sources_lanes(Y, a, hc, eps=eps)
+        dY[:, self._iH] = hdot
+        dY[:, self._iETA] = etadot
+
+        fg = Y[:, self._slfg]
+        delta_g = fg[:, 0]
+        theta_g = 0.75 * ks * fg[:, 1]
+        delta_b = Y[:, self._iDB]
+        theta_b = Y[:, self._iTB]
+        r = self._r_coef / a
+
+        sigma_g = self.sigma_gamma_tca(theta_g, hdot, etadot, kappa_dot)
+        ddelta_b = -theta_b - 0.5 * hdot
+        ddelta_g = -(4.0 / 3.0) * theta_g - (2.0 / 3.0) * hdot
+
+        # MB95 eq. (75): first-order slip theta_b' - theta_g'
+        addot_a = (
+            -0.5 * (self.grho83_lanes(a) + 3.0 * self.gpres83_lanes(a))
+            + hc * hc
+        )
+        slip = (2.0 * r / (1.0 + r)) * hc * (theta_b - theta_g) + (
+            1.0 / (kappa_dot * (1.0 + r))
+        ) * (
+            -addot_a * theta_b
+            - hc * k2 * 0.5 * delta_g
+            + k2 * (cs2 * ddelta_b - 0.25 * ddelta_g)
+        )
+
+        # MB95 eq. (74): combined momentum equation + slip
+        dtheta_b = (
+            -hc * theta_b
+            + cs2 * k2 * delta_b
+            + r * (k2 * (0.25 * delta_g - sigma_g))
+            + r * slip
+        ) / (1.0 + r)
+        dtheta_g = dtheta_b - slip
+
+        dY[:, self._iDC] = -0.5 * hdot
+        dY[:, self._iDB] = ddelta_b
+        dY[:, self._iTB] = dtheta_b
+        dfg = dY[:, self._slfg]
+        dfg[:, 0] = ddelta_g
+        dfg[:, 1] = (4.0 / (3.0 * ks)) * dtheta_g
+        # F_(l>=2) and polarization stay slaved, exactly as in the
+        # scalar kernel; the hand-off synchronizes them.
+
+        self.fill_neutrinos_lanes(Y, dY, tau, hdot, etadot)
+        self.fill_massive_nu_lanes(Y, dY, tau, a, hdot, etadot, eps=eps)
+        return dY
+
+    # ------------------------------------------------------------------
+    # Packed structure for the compiled kernels
+    # ------------------------------------------------------------------
+
+    def pack(self) -> dict:
+        """The assembled structure as flat arrays: the ABI the C and
+        numba kernels share (see ``_rhs_numba.kernel_rhs_full`` for the
+        layout contract).  Built once and cached; the dict holds
+        references so nothing is garbage-collected under a ctypes call.
+        """
+        if self._packed is not None:
+            return self._packed
+        lo = self.layout
+        nq = lo.nq
+        lm = lo.lmax_massive_nu if nq > 0 else 0
+        if nq > 0:
+            rf = self._rho_fac
+            rf_n, rf_x0, rf_dx = rf.n, rf.x0, rf.dx
+            rf_c = np.ascontiguousarray([rf.c3, rf.c2, rf.c1, rf.c0])
+            nu_pack = np.ascontiguousarray(
+                [self.q_nodes, self._dlnf, self._w_rho, self._w_q3,
+                 self._w_q4]
+            )
+            mnu_pack = np.ascontiguousarray([self._mnu_lo, self._mnu_hi])
+            x0 = self._x0
+        else:
+            rf_n, rf_x0, rf_dx = 1, 0.0, 1.0
+            rf_c = np.zeros((4, 1))
+            nu_pack = np.zeros((5, 1))
+            mnu_pack = np.zeros((2, 1))
+            x0 = 0.0
+        ints = np.array(
+            [self.B, lo.n_state, lo.lmax_photon, lo.lmax_nu, nq, lm,
+             lo.i_fg, lo.i_gg, lo.i_nl, (lo.i_psi if nq > 0 else 0),
+             self._adv0, self._adv1, self._damp0, self._damp1,
+             self._th_n, rf_n],
+            dtype=np.int64,
+        )
+        flts = np.array(
+            [self._gr_m, self._gr_gnl, self._gr_lam, self._gr_k,
+             self._gr_c, self._gr_b, self._gr_g, self._gr_nl,
+             self._gr_nu_rel, self._r_coef, x0, I_RHO_MASSLESS,
+             self._th_x0, self._th_dx, rf_x0, rf_dx],
+        )
+        lane_c = np.ascontiguousarray(
+            [self.ks, self.k2, self._k075, self._k43i]
+        )
+        self._packed = {
+            "ints": ints, "flts": flts, "th_c": self._th_c,
+            "lane_c": lane_c, "adv_lo": self._adv_lo,
+            "adv_hi": self._adv_hi, "nu_pack": nu_pack,
+            "mnu_pack": mnu_pack, "rf_c": rf_c,
+        }
+        return self._packed
+
+    def _compiled(self, kernel: str):
+        """The packed-ABI callable for ``kernel`` (must be available)."""
+        if kernel == "cext":
+            from ._rhs_cext import get_cext
+            fn = get_cext()
+        else:
+            from ._rhs_numba import get_numba
+            fn = get_numba()
+        if fn is None:
+            raise ParameterError(
+                f"rhs kernel {kernel!r} is not available in this process"
+            )
+        return fn
+
+    def _call_packed(self, fn, tau: np.ndarray, Y: np.ndarray,
+                     dY: np.ndarray, b0: int, b1: int) -> None:
+        p = self.pack()
+        fn(p["ints"], p["flts"], p["th_c"], p["lane_c"], p["adv_lo"],
+           p["adv_hi"], p["nu_pack"], p["mnu_pack"], p["rf_c"],
+           tau, Y, dY, b0, b1)
+
+    # ------------------------------------------------------------------
+    # Kernel dispatch (the entry points the thin drivers call)
+    # ------------------------------------------------------------------
+
+    def rhs_full_scalar(self, b: int, tau: float, y: np.ndarray,
+                        dy: np.ndarray, kernel: str = "python") -> np.ndarray:
+        """One lane's full RHS through the requested (resolved) kernel."""
+        self.evals[kernel] += 1
+        if self.instrument:
+            w0 = time.perf_counter()
+        if kernel == "python":
+            self.rhs_full_s(b, tau, y, dy)
+        else:
+            fn = self._compiled(kernel)
+            self._tau1[0] = tau
+            if not y.flags.c_contiguous:
+                y = np.ascontiguousarray(y)
+            # (1, n) views: the packed kernels address state as rows
+            self._call_packed(fn, self._tau1, y.reshape(1, y.size),
+                              dy.reshape(1, dy.size), b, b + 1)
+        if self.instrument:
+            self.seconds[kernel] += time.perf_counter() - w0
+        return dy
+
+    def rhs_full_batch(self, tau: np.ndarray, Y: np.ndarray,
+                       dY: np.ndarray, kernel: str = "python") -> np.ndarray:
+        """All lanes' full RHS through the requested (resolved) kernel."""
+        self.evals[kernel] += self.B
+        if self.instrument:
+            w0 = time.perf_counter()
+        if kernel == "python":
+            self.rhs_full_lanes(tau, Y, dY)
+        else:
+            fn = self._compiled(kernel)
+            if not Y.flags.c_contiguous:
+                Y = np.ascontiguousarray(Y)
+            tau = np.ascontiguousarray(tau, dtype=float)
+            self._call_packed(fn, tau, Y, dY, 0, self.B)
+        if self.instrument:
+            self.seconds[kernel] += time.perf_counter() - w0
+        return dY
+
+    def rhs_tca_scalar(self, b: int, tau: float, y: np.ndarray,
+                       dy: np.ndarray) -> np.ndarray:
+        """Tight-coupling RHS (python only: the TCA phase is cold)."""
+        self.evals["python"] += 1
+        if self.instrument:
+            w0 = time.perf_counter()
+        self.rhs_tca_s(b, tau, y, dy)
+        if self.instrument:
+            self.seconds["python"] += time.perf_counter() - w0
+        return dy
+
+    def rhs_tca_batch(self, tau: np.ndarray, Y: np.ndarray,
+                      dY: np.ndarray) -> np.ndarray:
+        self.evals["python"] += self.B
+        if self.instrument:
+            w0 = time.perf_counter()
+        self.rhs_tca_lanes(tau, Y, dY)
+        if self.instrument:
+            self.seconds["python"] += time.perf_counter() - w0
+        return dY
+
+    # ------------------------------------------------------------------
+    # Cost census
+    # ------------------------------------------------------------------
+
+    def flops_per_eval(self) -> int:
+        """Deterministic multiply-add census of one lane's rhs_full.
+
+        Derived from the assembled structure alone (window widths,
+        hierarchy cutoffs, momentum nodes), so the serial, batched and
+        compiled paths all report the same per-evaluation cost and
+        BENCH/telemetry comparisons are apples-to-apples.  Transcendental
+        calls (exp/log/sqrt) are charged at 25 flops, matching the
+        calibrated cost model in :mod:`repro.cluster.costmodel`.
+        """
+        f = 150          # background factors, hc, fused thermo lookup
+        f += 56          # metric sources + the six scalar state lines
+        f += 3 * (self._adv1 - self._adv0)   # fused advection band
+        f += 2 * (self._damp1 - self._damp0)  # Thomson damping window
+        f += 40          # closures + Thomson source terms
+        if self.nq > 0:
+            lo = self.layout
+            nq, lmnu = lo.nq, lo.lmax_massive_nu
+            f += nq * 26                      # eps + metric-source dots
+            f += nq * (4 * (lmnu - 1) + 16)   # psi hierarchy
+        return f

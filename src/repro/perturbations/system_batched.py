@@ -9,66 +9,55 @@ hierarchy advection factors ``k l/(2l+1)``, ``k``, ``k^2``) become
 one vectorized call over the batch, and every hierarchy update is the
 same slice expression as the serial system with a leading batch axis.
 
-PR 1's telemetry showed the per-mode cost is interpreter overhead, not
-arithmetic (~11k Python-level RHS calls of ~0.04 ms each); batching B
-modes leaves the *number* of Python operations per step unchanged while
-each one now does B lanes of work — the classic Boltzmann-code k-loop
-restructuring (Doran 2005; CMBAns) expressed in NumPy.
+Since the compiled-RHS refactor both twins are thin drivers over one
+:class:`~repro.perturbations.operator.BoltzmannOperator`, which owns
+the precomputed coefficient structure and the lane kernels this class
+used to keep by hand — there is no longer a second copy of MB95 to
+drift.  Row b of a batched python-kernel evaluation is *bitwise* equal
+to the serial python kernel for ``ks[b]`` (same expression groupings,
+same libm transcendentals); the equivalence tests and goldens pin it.
 
-Row b of a batched RHS evaluation equals the serial system's RHS for
-``ks[b]`` to floating-point roundoff (``np.exp`` vs ``math.exp`` and
-BLAS contraction order are the only differences); the equivalence tests
-pin the two implementations together through the golden snapshots.
+``rhs_kernel`` routes :meth:`rhs_full` through the optional compiled
+kernels exactly as in the serial class; :meth:`lane_system` hands out
+serial views that share this batch's operator (coefficient tables and
+telemetry counters included), which is what the batched evolution uses
+for per-lane recording and hand-off.
 """
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
-from ..background import Background, dlnf0_dlnq, fermi_dirac_f0
-from ..background.nu_massive import I_RHO_MASSLESS, momentum_grid
+from ..background import Background
 from ..errors import ParameterError
 from ..thermo import ThermalHistory
-from ..util.fastspline import UniformGridCubic
+from .operator import BoltzmannOperator, resolve_kernel
 from .state import StateLayout
+from .system import PerturbationSystem
 
 __all__ = ["PerturbationSystemBatch"]
 
 
-def _exp_lanes(x: np.ndarray) -> np.ndarray:
-    """exp per lane via libm.
-
-    ``np.exp`` differs from ``math.exp`` by ulps; adaptive step-size
-    control amplifies those over thousands of steps into ~1e-7 state
-    drift, which would break golden-level (rtol=1e-8) equivalence with
-    the serial system.  B is small, so scalar libm calls are cheap.
-    (``tolist`` first: iterating a NumPy array yields slow np.float64
-    scalars, a Python list yields plain floats.)
-    """
-    return np.array([math.exp(v) for v in x.tolist()])
-
-
-def _log_lanes(x: np.ndarray) -> np.ndarray:
-    """log per lane via libm (see :func:`_exp_lanes`)."""
-    return np.array([math.log(v) for v in x.tolist()])
-
-
 class PerturbationSystemBatch:
-    """RHS provider for a batch of comoving wavenumbers.
+    """RHS provider for a batch of wavenumbers.
 
     Parameters
     ----------
     background, thermo:
         Precomputed background / thermal history (shared across modes).
     ks:
-        Comoving wavenumbers [Mpc^-1], one per lane, shape (B,).
+        Comoving wavenumbers [Mpc^-1], shape (B,).
     layout:
-        The state-vector layout, shared by every lane (batching
-        requires a common multipole cutoff).
+        The state-vector layout, shared by every lane.
     q_max:
-        Upper edge of the massive-neutrino momentum grid.
+        Upper edge of the massive-neutrino momentum grid (units of
+        T_nu0).
+    operator:
+        Drive an existing operator instead of assembling a new one.
+    rhs_kernel:
+        ``"python"`` (default), ``"numba"``, ``"cext"`` or ``"auto"``.
+    instrument:
+        Record per-kernel wall-clock on the operator.
     """
 
     def __init__(
@@ -78,459 +67,108 @@ class PerturbationSystemBatch:
         ks: np.ndarray,
         layout: StateLayout,
         q_max: float = 18.0,
+        *,
+        operator: BoltzmannOperator | None = None,
+        rhs_kernel: str = "python",
+        instrument: bool = False,
     ) -> None:
-        ks = np.asarray(ks, dtype=float)
-        if ks.ndim != 1 or ks.size == 0:
-            raise ParameterError("ks must be a non-empty 1-d array")
-        if np.any(ks <= 0.0):
-            raise ParameterError("every k must be positive")
-        p = background.params
-        self.params = p
+        if operator is None:
+            operator = BoltzmannOperator(background, thermo, ks, layout,
+                                         q_max=q_max)
+        op = operator
+        self.op = op
+        self.params = op.params
         self.background = background
         self.thermo = thermo
-        self.ks = ks
-        self.k2 = ks * ks
-        self.B = int(ks.size)
+        self.ks = op.ks
+        self.k2 = op.k2
+        self.B = op.B
         self.layout = layout
-
-        h0sq = p.h0_mpc**2
-        self._gr_m = h0sq * (p.omega_c + p.omega_b)
-        self._gr_c = h0sq * p.omega_c
-        self._gr_b = h0sq * p.omega_b
-        self._gr_g = h0sq * p.omega_gamma
-        self._gr_nl = h0sq * p.omega_nu_massless
-        self._gr_lam = h0sq * p.omega_lambda
-        self._gr_k = h0sq * p.omega_k
-        self._r_coef = 4.0 * p.omega_gamma / (3.0 * p.omega_b)
-
-        # Fast thermo lookups, identical tables to the serial system.
-        lna = thermo._lna
-        kap = thermo._opacity_from_xe(thermo._a, thermo._x_e_table)
-        self._ln_kap_spline = UniformGridCubic(lna, np.log(np.maximum(kap, 1e-300)))
-        cs2_tab = np.exp(thermo._cs2_spline(lna))
-        self._ln_cs2_spline = UniformGridCubic(lna, np.log(np.maximum(cs2_tab, 1e-300)))
-        # Both splines share the ln-a knot vector, so the hot path can
-        # compute the piece index once, gather all eight coefficient
-        # rows in a single fancy-index, and apply both polynomials.
-        sp = self._ln_kap_spline
-        sq = self._ln_cs2_spline
-        self._th_x0, self._th_dx, self._th_n = sp.x0, sp.dx, sp.n
-        self._th_c = np.ascontiguousarray(
-            [sp.c3, sp.c2, sp.c1, sp.c0, sq.c3, sq.c2, sq.c1, sq.c0]
-        )
-
-        # The layout's index properties recompute on access; the RHS
-        # runs thousands of times per mode, so freeze them here.
-        self._iA = layout.A
-        self._iH = layout.H
-        self._iETA = layout.ETA
-        self._iDC = layout.DELTA_C
-        self._iDB = layout.DELTA_B
-        self._iTB = layout.THETA_B
-        self._slfg = layout.sl_fg
-        self._slgg = layout.sl_gg
-        self._slnl = layout.sl_nl
-        self._slpsi = layout.sl_psi if layout.nq > 0 else None
-
-        # Massive neutrinos ------------------------------------------------
         self.nq = layout.nq
-        if self.nq > 0:
-            if background.nu_tables is None:
-                raise ParameterError(
-                    "layout has a massive sector but the background has no "
-                    "massive neutrinos"
-                )
-            self._gr_nu_rel = (
-                h0sq
-                * p.n_nu_massive
-                * (7.0 / 8.0)
-                * (4.0 / 11.0) ** (4.0 / 3.0)
-                * p.omega_gamma
-            )
-            self._x0 = background.nu_tables.x0
-            q, w = momentum_grid(self.nq, q_max=q_max)
-            self.q_nodes = q
-            f0 = fermi_dirac_f0(q)
-            self._dlnf = dlnf0_dlnq(q)
-            self._w_rho = w * q**2 * f0 / I_RHO_MASSLESS
-            self._w_q3 = w * q**3 * f0 / I_RHO_MASSLESS
-            self._w_q4 = w * q**4 * f0 / I_RHO_MASSLESS
-            tab = background.nu_tables
-            lx = np.linspace(math.log(tab.x_min), math.log(tab.x_max), 600)
-            self._rho_fac = UniformGridCubic(lx, tab._log_rho_spline(lx))
-            self._p_fac = UniformGridCubic(lx, tab._log_p_spline(lx))
-            lm = layout.lmax_massive_nu
-            ell = np.arange(lm + 1, dtype=float)
-            self._mnu_lo = ell / (2.0 * ell + 1.0)
-            self._mnu_hi = (ell + 1.0) / (2.0 * ell + 1.0)
-        else:
-            self._gr_nu_rel = 0.0
-            self.q_nodes = np.empty(0)
-
-        # Hierarchy advection coefficients, one row per lane.  Grouped
-        # exactly as the serial system computes them — (k*l)/(2l+1),
-        # not k*(l/(2l+1)) — so the coefficients are bitwise equal.
-        lg = layout.lmax_photon
-        ell = np.arange(lg + 1, dtype=float)
-        self._g_lo = ks[:, None] * ell / (2.0 * ell + 1.0)
-        self._g_hi = ks[:, None] * (ell + 1.0) / (2.0 * ell + 1.0)
-        ln = layout.lmax_nu
-        ell = np.arange(ln + 1, dtype=float)
-        self._n_lo = ks[:, None] * ell / (2.0 * ell + 1.0)
-        self._n_hi = ks[:, None] * (ell + 1.0) / (2.0 * ell + 1.0)
-
-        # Per-lane constants the serial system folds into scalars;
-        # groupings match the serial expressions bit for bit.
-        self._gr_gnl = self._gr_g + self._gr_nl
-        self._k075 = 0.75 * ks
-        self._neg_ks = -ks
-        self._k43i = 4.0 / (3.0 * ks)
-
-        # Global advection table: every hierarchy interior obeys
-        # dX_l = lo_l X_(l-1) - hi_l X_(l+1), so the fg, gg and nl
-        # blocks all advect in a single shifted-slice update over the
-        # contiguous [i_fg+1, i_nl+lmax_nu) column range.  Columns
-        # whose neighbors cross a block boundary (each block's l=0 and
-        # l=lmax) get zero coefficients; their rows are overwritten by
-        # the dedicated boundary/closure updates below.
-        ns = layout.n_state
-        clo = np.zeros((self.B, ns))
-        chi = np.zeros((self.B, ns))
-        i_fg, i_gg, i_nl = layout.i_fg, layout.i_gg, layout.i_nl
-        clo[:, i_fg : i_fg + lg + 1] = self._g_lo
-        chi[:, i_fg : i_fg + lg + 1] = self._g_hi
-        clo[:, i_gg : i_gg + lg + 1] = self._g_lo
-        chi[:, i_gg : i_gg + lg + 1] = self._g_hi
-        clo[:, i_nl : i_nl + ln + 1] = self._n_lo
-        chi[:, i_nl : i_nl + ln + 1] = self._n_hi
-        for c in (i_fg + lg, i_gg, i_gg + lg, i_nl):
-            clo[:, c] = 0.0
-            chi[:, c] = 0.0
-        self._adv0 = i_fg + 1
-        self._adv1 = i_nl + ln
-        self._adv_lo = np.ascontiguousarray(clo[:, self._adv0 : self._adv1])
-        self._adv_hi = np.ascontiguousarray(chi[:, self._adv0 : self._adv1])
-
-        # Thomson damping region: every photon column whose damping is a
-        # bare ``- kappa_dot X`` term — F_(3..lmax) and G_(0..lmax) are
-        # adjacent in the layout, so one contiguous in-place subtraction
-        # covers them all.  F_1/F_2 carry their damping inside the
-        # baryon-coupling/source terms and are excluded.
-        self._damp0 = i_fg + 3
-        self._damp1 = i_gg + lg + 1
-
+        self.q_nodes = op.q_nodes
+        self.rhs_kernel = resolve_kernel(rhs_kernel)
+        if instrument:
+            op.instrument = True
         self._dy = np.zeros((self.B, layout.n_state))
 
     # ------------------------------------------------------------------
-    # Background pieces (vectorized over lanes)
+    # Delegated pieces (kept for tests/diagnostics; the hot path goes
+    # straight through the operator's lane kernels)
     # ------------------------------------------------------------------
 
     def _rho_factor(self, a: np.ndarray) -> np.ndarray:
-        lx = _log_lanes(a * self._x0)
-        return _exp_lanes(self._rho_fac.vector(lx)) / I_RHO_MASSLESS
+        return self.op.rho_factor_lanes(a)
 
     def _pressure_factor(self, a: np.ndarray) -> np.ndarray:
-        lx = _log_lanes(a * self._x0)
-        return 3.0 * _exp_lanes(self._p_fac.vector(lx)) / I_RHO_MASSLESS
+        return self.op.pressure_factor_lanes(a)
 
     def _grho83(self, a: np.ndarray) -> np.ndarray:
-        g = (
-            self._gr_m / a
-            + self._gr_gnl / (a * a)
-            + self._gr_lam * a * a
-        )
-        if self.nq > 0:
-            g = g + self._gr_nu_rel / (a * a) * self._rho_factor(a)
-        return g
+        return self.op.grho83_lanes(a)
 
     def _gpres83(self, a: np.ndarray) -> np.ndarray:
-        g = (self._gr_g + self._gr_nl) / (3.0 * a * a) - self._gr_lam * a * a
-        if self.nq > 0:
-            g = g + (
-                self._gr_nu_rel / (a * a) * self._pressure_factor(a) / 3.0
-            )
-        return g
+        return self.op.gpres83_lanes(a)
 
     def conformal_hubble(self, a: np.ndarray) -> np.ndarray:
-        return np.sqrt(self._grho83(a) + self._gr_k)
+        return self.op.conformal_hubble_lanes(a)
 
     def _thermo_lookup(self, lna: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """(kappa_dot, cs2) per lane with one shared piece-index lookup.
-
-        Same arithmetic as two ``UniformGridCubic.vector`` calls (both
-        splines sit on the same ln-a grid), at a quarter of the index
-        math: one clamp, one gather of all eight coefficient rows.
-        """
-        i = np.minimum(
-            np.maximum(((lna - self._th_x0) / self._th_dx).astype(int), 0),
-            self._th_n - 1,
-        )
-        t = lna - (self._th_x0 + i * self._th_dx)
-        C = self._th_c[:, i].reshape(2, 4, self.B)
-        P = ((C[:, 0] * t + C[:, 1]) * t + C[:, 2]) * t + C[:, 3]
-        e = np.array([math.exp(v) for v in P.ravel().tolist()])
-        return e[: self.B], e[self.B :]
+        return self.op.thermo_lookup_lanes(lna)
 
     def nu_eps(self, a: np.ndarray) -> np.ndarray | None:
-        """eps = sqrt(q^2 + (a m/T)^2), shape (B, nq)."""
-        if self.nq == 0:
-            return None
-        return np.sqrt(self.q_nodes[None, :] ** 2
-                       + (a[:, None] * self._x0) ** 2)
-
-    # ------------------------------------------------------------------
-    # Shared source sums
-    # ------------------------------------------------------------------
+        return self.op.nu_eps_lanes(a)
 
     def _psi_matrix(self, Y: np.ndarray) -> np.ndarray:
-        lo = self.layout
-        return Y[:, self._slpsi].reshape(self.B, lo.nq, lo.lmax_massive_nu + 1)
+        return self.op.psi_matrix_lanes(Y)
 
-    def _metric_sources(self, Y: np.ndarray, a: np.ndarray, hc: np.ndarray,
-                        eps: np.ndarray | None = None):
-        """Per-lane hdot and etadot from the Einstein constraints."""
-        fg = Y[:, self._slfg]
-        nl = Y[:, self._slnl]
-        inv_a = 1.0 / a
-        inv_a2 = inv_a * inv_a
-        gdrho = 1.5 * (
-            (self._gr_c * Y[:, self._iDC] + self._gr_b * Y[:, self._iDB]) * inv_a
-            + (self._gr_g * fg[:, 0] + self._gr_nl * nl[:, 0]) * inv_a2
-        )
-        theta_g = self._k075 * fg[:, 1]
-        theta_n = self._k075 * nl[:, 1]
-        gdq = 1.5 * (
-            self._gr_b * Y[:, self._iTB] * inv_a
-            + (4.0 / 3.0) * (self._gr_g * theta_g + self._gr_nl * theta_n) * inv_a2
-        )
-        if self.nq > 0:
-            psi = self._psi_matrix(Y)
-            if eps is None:
-                eps = self.nu_eps(a)
-            # per-lane dots, the exact reductions the serial system does
-            # (einsum's summation order differs by ulps)
-            nu_rho = np.array([
-                float((self._w_rho * eps[b]) @ psi[b, :, 0])
-                for b in range(self.B)
-            ])
-            nu_q = np.array([
-                float(self._w_q3 @ psi[b, :, 1]) for b in range(self.B)
-            ])
-            gdrho = gdrho + 1.5 * self._gr_nu_rel * inv_a2 * nu_rho
-            gdq = gdq + 1.5 * self._gr_nu_rel * inv_a2 * self.ks * nu_q
-        hdot = 2.0 * (self.k2 * Y[:, self._iETA] + gdrho) / hc
-        etadot = gdq / self.k2
-        return hdot, etadot, gdrho, gdq
+    def _metric_sources(self, Y, a, hc, eps=None):
+        return self.op.metric_sources_lanes(Y, a, hc, eps=eps)
 
-    def shear_sum(self, Y: np.ndarray, a: np.ndarray, sigma_g: np.ndarray,
-                  eps: np.ndarray | None = None) -> np.ndarray:
-        inv_a2 = 1.0 / (a * a)
-        sigma_n = 0.5 * Y[:, self._slnl][:, 2]
-        gshear = 1.5 * (4.0 / 3.0) * (
-            self._gr_g * sigma_g + self._gr_nl * sigma_n
-        ) * inv_a2
-        if self.nq > 0:
-            psi = self._psi_matrix(Y)
-            if eps is None:
-                eps = self.nu_eps(a)
-            nu_shear = np.array([
-                float((self._w_q4 / eps[b]) @ psi[b, :, 2])
-                for b in range(self.B)
-            ])
-            gshear = gshear + 1.5 * self._gr_nu_rel * inv_a2 * (2.0 / 3.0) * nu_shear
-        return gshear
+    def shear_sum(self, Y, a, sigma_g, eps=None):
+        return self.op.shear_sum_lanes(Y, a, sigma_g, eps=eps)
 
     def sigma_gamma_tca(self, theta_g, hdot, etadot, kappa_dot):
-        return (2.0 / (3.0 * kappa_dot)) * (
-            (8.0 / 15.0) * theta_g + (4.0 / 15.0) * hdot + (8.0 / 5.0) * etadot
-        )
-
-    # ------------------------------------------------------------------
-    # Sector fillers
-    # ------------------------------------------------------------------
+        return self.op.sigma_gamma_tca(theta_g, hdot, etadot, kappa_dot)
 
     def _fill_neutrinos(self, Y, dY, tau, hdot, etadot,
                         hdot23=None, src2=None, advect=True):
-        """Massless hierarchy.  ``hdot23``/``src2`` are the shared
-        metric-source terms ``(2/3) hdot`` and ``(4/15) hdot +
-        (8/5) etadot`` when the caller already has them; rhs_full
-        passes ``advect=False`` because its global shifted-slice
-        update already advected this block."""
-        nl = Y[:, self._slnl]
-        dnl = dY[:, self._slnl]
-        lm = self.layout.lmax_nu
-        if hdot23 is None:
-            hdot23 = (2.0 / 3.0) * hdot
-        if src2 is None:
-            src2 = (4.0 / 15.0) * hdot + (8.0 / 5.0) * etadot
-        if advect:
-            dnl[:, 1:lm] = (self._n_lo[:, 1:lm] * nl[:, 0 : lm - 1]
-                            - self._n_hi[:, 1:lm] * nl[:, 2 : lm + 1])
-        dnl[:, 0] = self._neg_ks * nl[:, 1] - hdot23
-        dnl[:, 2] += src2
-        dnl[:, lm] = self.ks * nl[:, lm - 1] - (lm + 1.0) / tau * nl[:, lm]
+        self.op.fill_neutrinos_lanes(Y, dY, tau, hdot, etadot,
+                                     hdot23=hdot23, src2=src2,
+                                     advect=advect)
 
     def _fill_massive_nu(self, Y, dY, tau, a, hdot, etadot, eps=None):
-        lo = self.layout
-        if lo.nq == 0:
-            return
-        psi = self._psi_matrix(Y)
-        dpsi = dY[:, self._slpsi].reshape(self.B, lo.nq, lo.lmax_massive_nu + 1)
-        lm = lo.lmax_massive_nu
-        if eps is None:
-            eps = self.nu_eps(a)
-        qk_eps = self.ks[:, None] * self.q_nodes[None, :] / eps  # (B, nq)
-        dpsi[:, :, 1:lm] = qk_eps[:, :, None] * (
-            self._mnu_lo[1:lm] * psi[:, :, 0 : lm - 1]
-            - self._mnu_hi[1:lm] * psi[:, :, 2 : lm + 1]
-        )
-        dpsi[:, :, 0] = (-qk_eps * psi[:, :, 1]
-                         + (hdot[:, None] / 6.0) * self._dlnf)
-        dpsi[:, :, 2] += (
-            -((1.0 / 15.0) * hdot + (2.0 / 5.0) * etadot)[:, None] * self._dlnf
-        )
-        dpsi[:, :, lm] = (qk_eps * psi[:, :, lm - 1]
-                          - ((lm + 1.0) / tau)[:, None] * psi[:, :, lm])
+        self.op.fill_massive_nu_lanes(Y, dY, tau, a, hdot, etadot, eps=eps)
 
     # ------------------------------------------------------------------
-    # Full RHS
+    # The two RHS phases
     # ------------------------------------------------------------------
 
     def rhs_full(self, tau: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        # No dY zeroing: every entry below is written by assignment
-        # before any in-place update reads it (rhs_tca, whose slaved
-        # block is *not* written, zeroes that block itself).
-        dY = self._dy
-        a = Y[:, self._iA]
-        a2 = a * a
-        # NB: gr_lam * a * a, not gr_lam * a2 — float multiplication is
-        # not associative and the serial _grho83 groups left-to-right
-        grho = self._gr_m / a + self._gr_gnl / a2 + self._gr_lam * a * a
-        if self.nq > 0:
-            grho = grho + self._gr_nu_rel / a2 * self._rho_factor(a)
-            eps = self.nu_eps(a)
-        else:
-            eps = None
-        hc = np.sqrt(grho + self._gr_k)
-        lna = _log_lanes(a)
-        kappa_dot, cs2 = self._thermo_lookup(lna)
-        ks = self.ks
-
-        dY[:, self._iA] = a * hc
-        hdot, etadot, _, _ = self._metric_sources(Y, a, hc, eps=eps)
-        dY[:, self._iH] = hdot
-        dY[:, self._iETA] = etadot
-        hdot23 = (2.0 / 3.0) * hdot
-        src2 = (4.0 / 15.0) * hdot + (8.0 / 5.0) * etadot
-
-        # CDM and baryons
-        fg = Y[:, self._slfg]
-        gg = Y[:, self._slgg]
-        theta_b = Y[:, self._iTB]
-        theta_g = self._k075 * fg[:, 1]
-        r = self._r_coef / a
-        dY[:, self._iDC] = -0.5 * hdot
-        dY[:, self._iDB] = -theta_b - 0.5 * hdot
-        dY[:, self._iTB] = (
-            -hc * theta_b
-            + cs2 * self.k2 * Y[:, self._iDB]
-            + r * kappa_dot * (theta_g - theta_b)
-        )
-
-        # All three hierarchies (photon temperature, polarization,
-        # massless neutrinos) advect in one shifted-slice update; the
-        # block-boundary columns it writes are overwritten below.
-        s0, s1 = self._adv0, self._adv1
-        dY[:, s0:s1] = (self._adv_lo * Y[:, s0 - 1 : s1 - 1]
-                        - self._adv_hi * Y[:, s0 + 1 : s1 + 1])
-
-        lg = self.layout.lmax_photon
-        dfg = dY[:, self._slfg]
-        dgg = dY[:, self._slgg]
-        lg1_tau = (lg + 1.0) / tau
-        # Closure/boundary assignments first, with their bare damping
-        # terms left off; the contiguous region subtraction below adds
-        # each as the last term, preserving the serial left-to-right
-        # grouping ((a - b) - kappa_dot X) bit for bit.
-        dfg[:, 0] = self._neg_ks * fg[:, 1] - hdot23
-        dfg[:, lg] = ks * fg[:, lg - 1] - lg1_tau * fg[:, lg]
-        dgg[:, 0] = self._neg_ks * gg[:, 1]
-        dgg[:, lg] = ks * gg[:, lg - 1] - lg1_tau * gg[:, lg]
-        d0, d1 = self._damp0, self._damp1
-        dY[:, d0:d1] -= kappa_dot[:, None] * Y[:, d0:d1]
-        pi_pol = fg[:, 2] + gg[:, 0] + gg[:, 2]
-        dfg[:, 1] += kappa_dot * (self._k43i * theta_b - fg[:, 1])
-        dfg[:, 2] += src2 + kappa_dot * (0.1 * pi_pol - fg[:, 2])
-        dgg[:, 0] += 0.5 * kappa_dot * pi_pol
-        dgg[:, 2] += 0.1 * kappa_dot * pi_pol
-
-        self._fill_neutrinos(Y, dY, tau, hdot, etadot,
-                             hdot23=hdot23, src2=src2, advect=False)
-        if self.nq > 0:
-            self._fill_massive_nu(Y, dY, tau, a, hdot, etadot, eps=eps)
-        return dY
-
-    # ------------------------------------------------------------------
-    # Tight-coupling RHS
-    # ------------------------------------------------------------------
+        """Full (post-TCA) RHS for every lane, shape (B, n_state)."""
+        return self.op.rhs_full_batch(tau, Y, self._dy, self.rhs_kernel)
 
     def rhs_tca(self, tau: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        dY = self._dy
-        dY[:] = 0.0
-        a = Y[:, self._iA]
-        hc = self.conformal_hubble(a)
-        lna = _log_lanes(a)
-        kappa_dot, cs2 = self._thermo_lookup(lna)
-        ks = self.ks
-        k2 = self.k2
-        eps = self.nu_eps(a)
+        """Tight-coupling RHS for every lane (python kernel always)."""
+        return self.op.rhs_tca_batch(tau, Y, self._dy)
 
-        dY[:, self._iA] = a * hc
-        hdot, etadot, _, _ = self._metric_sources(Y, a, hc, eps=eps)
-        dY[:, self._iH] = hdot
-        dY[:, self._iETA] = etadot
+    # ------------------------------------------------------------------
+    # Serial views
+    # ------------------------------------------------------------------
 
-        fg = Y[:, self._slfg]
-        delta_g = fg[:, 0]
-        theta_g = 0.75 * ks * fg[:, 1]
-        delta_b = Y[:, self._iDB]
-        theta_b = Y[:, self._iTB]
-        r = self._r_coef / a
-
-        sigma_g = self.sigma_gamma_tca(theta_g, hdot, etadot, kappa_dot)
-        ddelta_b = -theta_b - 0.5 * hdot
-        ddelta_g = -(4.0 / 3.0) * theta_g - (2.0 / 3.0) * hdot
-
-        # MB95 eq. (75): first-order slip theta_b' - theta_g'
-        addot_a = (
-            -0.5 * (self._grho83(a) + 3.0 * self._gpres83(a)) + hc * hc
-        )
-        slip = (2.0 * r / (1.0 + r)) * hc * (theta_b - theta_g) + (
-            1.0 / (kappa_dot * (1.0 + r))
-        ) * (
-            -addot_a * theta_b
-            - hc * k2 * 0.5 * delta_g
-            + k2 * (cs2 * ddelta_b - 0.25 * ddelta_g)
+    def lane_system(self, b: int) -> PerturbationSystem:
+        """A serial :class:`PerturbationSystem` for lane ``b`` that
+        shares this batch's operator — no re-assembly, shared eval
+        counters, bitwise-identical python-kernel values."""
+        if not 0 <= b < self.B:
+            raise ParameterError(f"lane {b} out of range for B={self.B}")
+        return PerturbationSystem(
+            self.background, self.thermo, float(self.ks[b]), self.layout,
+            operator=self.op, lane=b,
         )
 
-        # MB95 eq. (74): combined momentum equation + slip
-        dtheta_b = (
-            -hc * theta_b
-            + cs2 * k2 * delta_b
-            + r * (k2 * (0.25 * delta_g - sigma_g))
-            + r * slip
-        ) / (1.0 + r)
-        dtheta_g = dtheta_b - slip
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
 
-        dY[:, self._iDC] = -0.5 * hdot
-        dY[:, self._iDB] = ddelta_b
-        dY[:, self._iTB] = dtheta_b
-        dfg = dY[:, self._slfg]
-        dfg[:, 0] = ddelta_g
-        dfg[:, 1] = (4.0 / (3.0 * ks)) * dtheta_g
-        # F_(l>=2) and polarization stay slaved, exactly as in the
-        # serial system; the hand-off synchronizes them.
-
-        self._fill_neutrinos(Y, dY, tau, hdot, etadot)
-        self._fill_massive_nu(Y, dY, tau, a, hdot, etadot, eps=eps)
-        return dY
+    def flops_per_eval(self) -> int:
+        """Structure-derived flop census of one *lane's* rhs_full."""
+        return self.op.flops_per_eval()

@@ -165,33 +165,27 @@ class NewtonianPerturbationSystem(PerturbationSystem):
     # ------------------------------------------------------------------
 
     def _fill_neutrinos_cn(self, y, dy, tau, phi_dot, psi):
+        # gauge-independent interior + closure come from the operator;
+        # only the CN metric sources live here
+        self.op.neutrino_advect_s(self.lane, y, dy, tau)
         lo = self.layout
         nl = y[lo.sl_nl]
         dnl = dy[lo.sl_nl]
-        lm = lo.lmax_nu
         k = self.k
-        dnl[1:lm] = self._n_lo[1:lm] * nl[0 : lm - 1] - self._n_hi[1:lm] * nl[2 : lm + 1]
         dnl[0] = -k * nl[1] + 4.0 * phi_dot
         dnl[1] += (4.0 / (3.0 * k)) * self.k2 * psi  # theta' += k^2 psi
-        dnl[lm] = k * nl[lm - 1] - (lm + 1.0) / tau * nl[lm]
 
     def _fill_massive_nu_cn(self, y, dy, tau, a, phi_dot, psi):
         lo = self.layout
         if lo.nq == 0:
             return
-        psi_m = lo.psi_matrix(y)
-        dpsi = dy[lo.sl_psi].reshape(lo.nq, lo.lmax_massive_nu + 1)
-        lm = lo.lmax_massive_nu
-        eps = np.sqrt(self.q_nodes**2 + (a * self._x0) ** 2)
-        qk_eps = self.k * self.q_nodes / eps
-        dpsi[:, 1:lm] = qk_eps[:, None] * (
-            self._mnu_lo[1:lm] * psi_m[:, 0 : lm - 1]
-            - self._mnu_hi[1:lm] * psi_m[:, 2 : lm + 1]
+        eps = self.nu_eps(a)
+        psi_m, dpsi, qk_eps = self.op.massive_nu_advect_s(
+            self.lane, y, dy, tau, eps
         )
         # MB95 eq. (56), CN gauge metric sources
         dpsi[:, 0] = -qk_eps * psi_m[:, 1] - phi_dot * self._dlnf
         dpsi[:, 1] += -(eps * self.k / (3.0 * self.q_nodes)) * psi * self._dlnf
-        dpsi[:, lm] = qk_eps * psi_m[:, lm - 1] - (lm + 1.0) / tau * psi_m[:, lm]
 
     # ------------------------------------------------------------------
     # Full RHS
@@ -212,7 +206,6 @@ class NewtonianPerturbationSystem(PerturbationSystem):
         dy[lo.A] = a * hc
 
         fg = y[lo.sl_fg]
-        gg = y[lo.sl_gg]
         sigma_g = 0.5 * fg[2]
         phi, psi, phi_dot = self.potentials(y, a, hc, sigma_g)
         dy[self.PHI] = phi_dot
@@ -232,27 +225,18 @@ class NewtonianPerturbationSystem(PerturbationSystem):
             + r * kappa_dot * (theta_g - theta_b)
         )
 
-        # photon temperature hierarchy
+        # Photon temperature + polarization: all gauge-independent
+        # couplings (advection, Thomson damping, closures, the full
+        # polarization block) come from the operator's shared helper;
+        # the CN metric sources and baryon coupling are local.  No
+        # quadrupole metric source in this gauge.
         dfg = dy[lo.sl_fg]
-        lg = lo.lmax_photon
-        dfg[1:lg] = self._g_lo[1:lg] * fg[0 : lg - 1] - self._g_hi[1:lg] * fg[2 : lg + 1]
-        dfg[3:lg] -= kappa_dot * fg[3:lg]
-        pi_pol = fg[2] + gg[0] + gg[2]
+        pi_pol = self.op.photon_shared_s(self.lane, tau, y, dy, kappa_dot)
         dfg[0] = -k * fg[1] + 4.0 * phi_dot
         dfg[1] += (4.0 / (3.0 * k)) * k2 * psi + kappa_dot * (
             (4.0 / (3.0 * k)) * theta_b - fg[1]
         )
         dfg[2] += kappa_dot * (0.1 * pi_pol - fg[2])
-        dfg[lg] = k * fg[lg - 1] - (lg + 1.0) / tau * fg[lg] - kappa_dot * fg[lg]
-
-        # polarization (identical in both gauges: no metric source)
-        dgg = dy[lo.sl_gg]
-        dgg[1:lg] = self._g_lo[1:lg] * gg[0 : lg - 1] - self._g_hi[1:lg] * gg[2 : lg + 1]
-        dgg[0] = -k * gg[1]
-        dgg[0:lg] -= kappa_dot * gg[0:lg]
-        dgg[0] += 0.5 * kappa_dot * pi_pol
-        dgg[2] += 0.1 * kappa_dot * pi_pol
-        dgg[lg] = k * gg[lg - 1] - (lg + 1.0) / tau * gg[lg] - kappa_dot * gg[lg]
 
         self._fill_neutrinos_cn(y, dy, tau, phi_dot, psi)
         self._fill_massive_nu_cn(y, dy, tau, a, phi_dot, psi)

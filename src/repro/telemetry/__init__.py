@@ -22,6 +22,7 @@ from .report import (
     ModeMetrics,
     RankTraffic,
     RunReport,
+    RhsMetrics,
     SparseMetrics,
     WorkerMetrics,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "RankTraffic",
     "WorkerMetrics",
     "FaultReport",
+    "RhsMetrics",
     "SparseMetrics",
     "RunReport",
     "SCHEMA",

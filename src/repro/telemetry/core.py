@@ -28,6 +28,7 @@ from .report import (
     ModeMetrics,
     RankTraffic,
     RunReport,
+    RhsMetrics,
     SparseMetrics,
     WorkerMetrics,
 )
@@ -58,6 +59,7 @@ class Telemetry:
         self.cache: CacheMetrics | None = None
         self.constraints: list[ConstraintMetrics] = []
         self.sparse: SparseMetrics | None = None
+        self.rhs: RhsMetrics | None = None
         self.meta: dict = {}
 
     # -- scalar metrics -----------------------------------------------------
@@ -101,6 +103,22 @@ class Telemetry:
         batch = BatchMetrics(**kwargs)
         self.batches.append(batch)
         return batch
+
+    def record_rhs(self, requested: str = "python",
+                   active: str = "python",
+                   evals: dict | None = None,
+                   seconds: dict | None = None) -> None:
+        """Merge per-kernel RHS accounting into the run's ``rhs``
+        section.  Called once per evolved mode/batch with the
+        operator's cumulative counters; within one run the counts sum
+        and the requested/active labels are shared."""
+        section = RhsMetrics(requested=requested, active=active,
+                             evals=dict(evals or {}),
+                             seconds=dict(seconds or {}))
+        if self.rhs is None:
+            self.rhs = section
+        else:
+            self.rhs.merge(section)
 
     def record_constraint(self, metrics: ConstraintMetrics) -> None:
         """Append one per-mode redundant-Einstein residual summary."""
@@ -150,6 +168,7 @@ class Telemetry:
             "constraints": [asdict(c) for c in self.constraints],
             "counters": {n: c.value for n, c in self.counters.items()},
             "timers": {n: t.as_dict() for n, t in self.timers.items()},
+            "rhs": asdict(self.rhs) if self.rhs is not None else None,
         }
 
     def merge_worker_payload(self, payload: dict) -> None:
@@ -164,6 +183,9 @@ class Telemetry:
             self.count(name, value)
         for name, d in payload.get("timers", {}).items():
             self.timer(name).add(d["total_seconds"], d["count"])
+        if payload.get("rhs") is not None:
+            self.record_rhs(**{k: payload["rhs"][k] for k in
+                               ("requested", "active", "evals", "seconds")})
 
     # -- product ------------------------------------------------------------
 
@@ -184,6 +206,7 @@ class Telemetry:
             cache=self.cache,
             constraints=list(self.constraints),
             sparse=self.sparse,
+            rhs=self.rhs,
         )
 
 
@@ -245,6 +268,10 @@ class NullTelemetry(Telemetry):
         return None
 
     def record_constraint(self, metrics) -> None:
+        pass
+
+    def record_rhs(self, requested="python", active="python",
+                   evals=None, seconds=None) -> None:
         pass
 
     def record_traffic(self, rank, role, stats, tag_names=None) -> None:

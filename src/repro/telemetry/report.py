@@ -26,6 +26,7 @@ __all__ = [
     "CacheMetrics",
     "ConstraintMetrics",
     "SparseMetrics",
+    "RhsMetrics",
     "RunReport",
 ]
 
@@ -378,6 +379,52 @@ class SparseMetrics:
 
 
 @dataclass
+class RhsMetrics:
+    """Per-kernel RHS evaluation accounting (compiled-RHS refactor).
+
+    One section per run: which kernel was requested, which one actually
+    ran (compiled kernels silently fall back to python when
+    unavailable), and the lane-evaluation counts / wall-clock split per
+    kernel.  ``evals`` counts *lane* evaluations so serial, batched and
+    compiled paths are directly comparable; the TCA phase always
+    accrues to ``python``.  Additive v1 extension like ``sparse``:
+    reports without an ``rhs`` section load unchanged.
+    """
+
+    requested: str = "python"
+    active: str = "python"
+    evals: dict = field(default_factory=dict)  #: kernel -> lane evals
+    seconds: dict = field(default_factory=dict)  #: kernel -> wall clock
+
+    @property
+    def total_evals(self) -> int:
+        return int(sum(self.evals.values()))
+
+    @property
+    def compiled_fraction(self) -> float:
+        """Share of lane evaluations served by a compiled kernel."""
+        tot = self.total_evals
+        if not tot:
+            return 0.0
+        comp = sum(v for k, v in self.evals.items() if k != "python")
+        return comp / tot
+
+    def merge(self, other: "RhsMetrics") -> None:
+        """Fold another section in (PLINGER worker payloads, batches)."""
+        self.requested = other.requested or self.requested
+        self.active = other.active or self.active
+        for k, v in other.evals.items():
+            self.evals[k] = self.evals.get(k, 0) + int(v)
+        for k, v in other.seconds.items():
+            self.seconds[k] = self.seconds.get(k, 0.0) + float(v)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RhsMetrics":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
 class RunReport:
     """Everything a telemetered run measured, ready for JSON."""
 
@@ -393,6 +440,7 @@ class RunReport:
     cache: CacheMetrics | None = None
     constraints: list[ConstraintMetrics] = field(default_factory=list)
     sparse: SparseMetrics | None = None
+    rhs: RhsMetrics | None = None
     created_unix: float = field(default_factory=time.time)
 
     # -- aggregates ---------------------------------------------------------
@@ -444,6 +492,10 @@ class RunReport:
             if self.sparse else 1.0,
             "sparse_est_seconds_saved": self.sparse.est_seconds_saved
             if self.sparse else 0.0,
+            "rhs_kernel_active": self.rhs.active if self.rhs else "python",
+            "rhs_evals": self.rhs.total_evals if self.rhs else 0,
+            "rhs_compiled_fraction": self.rhs.compiled_fraction
+            if self.rhs else 0.0,
         }
 
     # -- serialization ------------------------------------------------------
@@ -465,6 +517,7 @@ class RunReport:
             "cache": asdict(self.cache) if self.cache is not None else None,
             "constraints": [asdict(c) for c in self.constraints],
             "sparse": asdict(self.sparse) if self.sparse is not None else None,
+            "rhs": asdict(self.rhs) if self.rhs is not None else None,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -492,6 +545,8 @@ class RunReport:
                          for c in d.get("constraints", [])],
             sparse=SparseMetrics.from_dict(d["sparse"])
             if d.get("sparse") is not None else None,
+            rhs=RhsMetrics.from_dict(d["rhs"])
+            if d.get("rhs") is not None else None,
             created_unix=float(d.get("created_unix", 0.0)),
         )
 

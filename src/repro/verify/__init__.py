@@ -36,7 +36,12 @@ from .constraints import (
     ModeConstraintResiduals,
     quality_residuals,
 )
-from .oracles import gauge_oracle, paths_oracle, sparse_cl_oracle
+from .oracles import (
+    gauge_oracle,
+    paths_oracle,
+    rhs_kernel_oracle,
+    sparse_cl_oracle,
+)
 from .runner import VerificationCheck, VerificationReport, verify_run
 from .tolerances import TOLERANCES, Tolerance, budget
 
@@ -50,6 +55,7 @@ __all__ = [
     "paths_oracle",
     "gauge_oracle",
     "sparse_cl_oracle",
+    "rhs_kernel_oracle",
     "superhorizon_eta_drift",
     "adiabatic_ratio_deviation",
     "acoustic_phase_deviation",

@@ -35,6 +35,7 @@ __all__ = [
     "paths_oracle",
     "gauge_oracle",
     "sparse_cl_oracle",
+    "rhs_kernel_oracle",
 ]
 
 #: ModeHeader fields carrying physics (not timing/accounting); the path
@@ -183,6 +184,78 @@ def sparse_cl_oracle(
                     dense_result.kgrid, l_values, sparse_factor=factor)
     tol = budget("oracle.sparse_cl")
     return {"sparse_cl": tol.max_rel_deviation(res.cl, cl_dense)}
+
+
+def rhs_kernel_oracle(
+    background,
+    thermo,
+    k: float = 0.01,
+    rtol: float = 1e-4,
+    lmax: int = 8,
+) -> dict[str, float]:
+    """Replay one mode's full-phase states through every RHS kernel.
+
+    Evolves one monitored mode with the scalar python reference,
+    capturing the full (post-TCA) states at the record grid, then
+    re-evaluates ``rhs_full`` at each captured ``(tau, y)`` through
+
+    * the lane-vectorized python kernel (B=1 batch), and
+    * every available compiled kernel (numba and/or cext),
+
+    each against the scalar python reference evaluated on the same
+    state.  Returns ``{"rhs_kernel": dev}``: the worst
+    ``max|dy - dy_ref| / max|dy_ref|`` over states and kernels.  The
+    python lanes are expected bitwise (dev contribution 0.0); the
+    compiled kernels are budgeted at ``oracle.rhs_kernel``.  With no
+    compiler and no numba the check still measures the real
+    scalar-vs-lane equivalence rather than vacuously passing.
+    """
+    from ..perturbations import default_record_grid, evolve_mode
+    from ..perturbations.operator import available_kernels
+    from ..perturbations.state import StateLayout
+    from ..perturbations.system import PerturbationSystem
+    from ..perturbations.system_batched import PerturbationSystemBatch
+
+    states: list[tuple[float, np.ndarray]] = []
+
+    def monitor(tau, y, tight):
+        if not tight:
+            states.append((float(tau), np.array(y, dtype=float)))
+
+    grid = default_record_grid(background, thermo, k)
+    evolve_mode(background, thermo, k, lmax_photon=lmax, lmax_nu=lmax,
+                record_tau=grid, rtol=rtol, monitor=monitor)
+    if not states:
+        raise ParameterError(
+            "rhs_kernel_oracle captured no full-phase states; the record "
+            "grid ends before tight-coupling exit"
+        )
+
+    layout = StateLayout(lmax_photon=lmax, lmax_nu=lmax, nq=0,
+                         lmax_massive_nu=0)
+    ref = PerturbationSystem(background, thermo, k, layout)
+    batch = PerturbationSystemBatch(background, thermo,
+                                    np.array([float(k)]), layout)
+    compiled = [
+        PerturbationSystem(background, thermo, k, layout,
+                           operator=ref.op, rhs_kernel=name)
+        for name in available_kernels() if name != "python"
+    ]
+
+    tau1 = np.empty(1)
+    worst = 0.0
+    for tau, y in states:
+        dy_ref = ref.rhs_full(tau, y).copy()
+        scale = max(float(np.max(np.abs(dy_ref))), 1e-300)
+        tau1[0] = tau
+        dy_lane = batch.rhs_full(tau1, y.reshape(1, y.size))[0]
+        worst = max(worst,
+                    float(np.max(np.abs(dy_lane - dy_ref))) / scale)
+        for sys_c in compiled:
+            dy_c = sys_c.rhs_full(tau, y)
+            worst = max(worst,
+                        float(np.max(np.abs(dy_c - dy_ref))) / scale)
+    return {"rhs_kernel": worst}
 
 
 def gauge_oracle(

@@ -16,7 +16,10 @@ suite against one cosmology:
    conformal-Newtonian code (``oracle.gauge_*``);
 6. replays the recorded run through the sparse-k fast path and compares
    the line-of-sight C_l against the all-modes projection
-   (``oracle.sparse_cl``).
+   (``oracle.sparse_cl``);
+7. replays one monitored mode's full-phase states through every
+   available RHS kernel (lane-vectorized python, numba, cext) against
+   the scalar python reference (``oracle.rhs_kernel``).
 
 Every check lands in a :class:`VerificationReport` as a
 (measured, threshold, passed) triple keyed by its tolerance-budget
@@ -39,7 +42,12 @@ from ..errors import VerificationError
 from ..util import format_table
 from . import analytic
 from .constraints import quality_residuals
-from .oracles import gauge_oracle, paths_oracle, sparse_cl_oracle
+from .oracles import (
+    gauge_oracle,
+    paths_oracle,
+    rhs_kernel_oracle,
+    sparse_cl_oracle,
+)
 from .tolerances import budget
 
 __all__ = ["VerificationCheck", "VerificationReport", "verify_run"]
@@ -298,6 +306,16 @@ def verify_run(
                             "dense vs sparse-k C_l (LOS)",
                             sdevs["sparse_cl"],
                             "factor=2 on the golden grid, l=2..15"))
+
+    if progress:
+        print("[verify] RHS kernel oracle (python vs compiled)...")
+    from ..perturbations.operator import available_kernels
+
+    kdevs = rhs_kernel_oracle(result.background, result.thermo)
+    report.checks.append(mk("oracle.rhs_kernel",
+                            "RHS kernels vs scalar python reference",
+                            kdevs["rhs_kernel"],
+                            "kernels: " + ", ".join(available_kernels())))
 
     report.wall_seconds = time.perf_counter() - wall0
     return report

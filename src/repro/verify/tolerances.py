@@ -198,6 +198,22 @@ TOLERANCES: dict[str, Tolerance] = {
                 "grid at 1e-3."
             ),
         ),
+        Tolerance(
+            "oracle.rhs_kernel", rtol=1e-10, atol=0.0,
+            provenance=(
+                "One monitored mode replayed through every available RHS "
+                "kernel (lane-vectorized python, numba, cext) against the "
+                "scalar python reference, worst max|dy - dy_ref| over the "
+                "recorded states normalized by max|dy_ref|.  The python "
+                "lanes are bitwise (same expression groupings, same libm "
+                "transcendentals — measured 0.0); the compiled kernels "
+                "share libm and are built without -ffast-math, so they "
+                "land within a few ulps.  1e-10 is ~1e5 ulps of headroom "
+                "yet instantly catches any dropped coupling or "
+                "reassociated expression, which shifts the residual to "
+                ">=1e-6 at these state magnitudes."
+            ),
+        ),
         # -- analytic-limit oracles ----------------------------------------
         Tolerance(
             "analytic.superhorizon_eta", atol=0.02,

@@ -1,0 +1,358 @@
+"""The compiled-RHS operator: equivalence, kernels, telemetry.
+
+The refactor's contract, pinned here:
+
+* **bitwise python parity** — the operator-assembled serial and
+  batched RHS rows are *bit-identical* (``np.array_equal``, not
+  allclose) to the frozen pre-refactor implementation in
+  ``tests/reference_rhs.py``, across Hypothesis-randomized states and
+  evaluation times, for both the nq=0 and the massive-neutrino
+  layouts.  This is what lets the goldens and the wire-record oracles
+  stand unchanged.
+* **compiled-kernel gate** — the packed plain-python kernel (the numba
+  source, run uncompiled) is bitwise too; the lazily-compiled C kernel
+  is budgeted at the ``oracle.rhs_kernel`` tolerance (rtol 1e-10) and
+  gated out when no C compiler is present, as is numba when absent.
+* **kernel resolution** — unknown names raise, unavailable kernels
+  fall back to python silently, ``auto`` resolves to something real.
+* **telemetry** — eval counters are shared between a batch and its
+  lane views, the structural flop census is identical on every path
+  (serial / batched / compiled), and the ``RhsMetrics`` report section
+  survives the dict round-trip used by the PLINGER worker wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+#: ``request`` (for the nq-parametrized fixtures) is function-scoped
+#: but only routes to session-scoped background/thermo fixtures, so
+#: reuse across examples is sound.
+relaxed = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+from repro.errors import ParameterError
+from repro.perturbations import (
+    PerturbationSystem,
+    PerturbationSystemBatch,
+    StateLayout,
+    adiabatic_initial_conditions,
+    evolve_mode,
+)
+from repro.perturbations._rhs_cext import get_cext
+from repro.perturbations._rhs_numba import get_numba, kernel_rhs_full
+from repro.perturbations.evolve import tau_initial
+from repro.perturbations.operator import (
+    BoltzmannOperator,
+    available_kernels,
+    resolve_kernel,
+)
+from repro.telemetry import RhsMetrics, RunReport, Telemetry
+from tests.reference_rhs import ReferencePerturbationSystem
+
+LAYOUT_NQ0 = dict(lmax_photon=8, lmax_nu=8, nq=0, lmax_massive_nu=0)
+LAYOUT_NQ4 = dict(lmax_photon=6, lmax_nu=6, nq=4, lmax_massive_nu=4)
+
+KS = np.geomspace(3e-4, 0.05, 5)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+lane_idx = st.integers(min_value=0, max_value=KS.size - 1)
+tau_scale = st.floats(min_value=1.5, max_value=50.0)
+
+
+def _random_state(layout, background, k, rng, q_nodes=None):
+    """An adiabatic IC perturbed lognormally — a physical-magnitude
+    state that is not on any integrator trajectory."""
+    tau0 = tau_initial(float(k))
+    y = adiabatic_initial_conditions(layout, background, float(k), tau0,
+                                     q_nodes=q_nodes)
+    y = y * rng.lognormal(0.0, 0.5, y.size)
+    # the hierarchy tails of the IC are exact zeros; give them life so
+    # every coupling row is exercised
+    y[y == 0.0] = rng.normal(0.0, 1e-6, int(np.sum(y == 0.0)))
+    return tau0, y
+
+
+def _fixtures(request, nq):
+    if nq:
+        return (request.getfixturevalue("bg_mdm"),
+                request.getfixturevalue("thermo_mdm"),
+                StateLayout(**LAYOUT_NQ4))
+    return (request.getfixturevalue("bg_scdm"),
+            request.getfixturevalue("thermo_scdm"),
+            StateLayout(**LAYOUT_NQ0))
+
+
+# ---------------------------------------------------------------------------
+# Bitwise parity with the frozen pre-refactor implementation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.property
+@pytest.mark.parametrize("nq", [0, 4])
+class TestBitwiseParity:
+    @given(seed=seeds, b=lane_idx, ts=tau_scale)
+    @relaxed
+    def test_serial_rhs_bitwise(self, request, nq, seed, b, ts):
+        bg, thermo, layout = _fixtures(request, nq)
+        rng = np.random.default_rng(seed)
+        k = float(KS[b])
+        new = PerturbationSystem(bg, thermo, k, layout)
+        ref = ReferencePerturbationSystem(bg, thermo, k, layout)
+        tau0, y = _random_state(layout, bg, k, rng, q_nodes=new.q_nodes)
+        tau = ts * tau0
+        for name in ("rhs_full", "rhs_tca"):
+            dy_new = np.array(getattr(new, name)(tau, y), copy=True)
+            dy_ref = getattr(ref, name)(tau, y)
+            assert np.array_equal(dy_new, dy_ref), (
+                f"{name} not bitwise at nq={nq}, k={k}, seed={seed}")
+
+    @given(seed=seeds, ts=tau_scale)
+    @settings(relaxed, max_examples=15)
+    def test_batched_rows_bitwise_vs_serial(self, request, nq, seed, ts):
+        bg, thermo, layout = _fixtures(request, nq)
+        rng = np.random.default_rng(seed)
+        B = KS.size
+        Y = np.empty((B, layout.n_state))
+        tau = np.empty(B)
+        batch = PerturbationSystemBatch(bg, thermo, KS, layout)
+        for b, k in enumerate(KS):
+            tau0, Y[b] = _random_state(layout, bg, float(k), rng,
+                                       q_nodes=batch.q_nodes)
+            tau[b] = ts * tau0
+        for name in ("rhs_full", "rhs_tca"):
+            dY = np.array(getattr(batch, name)(tau, Y), copy=True)
+            for b, k in enumerate(KS):
+                ref = ReferencePerturbationSystem(bg, thermo, float(k),
+                                                  layout)
+                dy_ref = getattr(ref, name)(float(tau[b]), Y[b])
+                assert np.array_equal(dY[b], dy_ref), (
+                    f"{name} lane {b} not bitwise at nq={nq}, seed={seed}")
+
+    @given(seed=seeds, b=lane_idx)
+    @settings(relaxed, max_examples=10)
+    def test_tca_handoff_bitwise(self, request, nq, seed, b):
+        bg, thermo, layout = _fixtures(request, nq)
+        rng = np.random.default_rng(seed)
+        k = float(KS[b])
+        new = PerturbationSystem(bg, thermo, k, layout)
+        tau0, y = _random_state(layout, bg, k, rng, q_nodes=new.q_nodes)
+        y_new, y_ref = y.copy(), y.copy()
+        new.initialize_full_from_tca(y_new, 2.0 * tau0)
+        ReferencePerturbationSystem(
+            bg, thermo, k, layout).initialize_full_from_tca(y_ref, 2.0 * tau0)
+        assert np.array_equal(y_new, y_ref)
+
+
+# ---------------------------------------------------------------------------
+# The packed kernel (plain python and compiled)
+# ---------------------------------------------------------------------------
+
+
+def _packed_eval(op, fn, tau, Y):
+    """Evaluate a packed-ABI kernel over the whole batch."""
+    p = op.pack()
+    tau = np.ascontiguousarray(np.asarray(tau, dtype=float))
+    Y = np.ascontiguousarray(Y)
+    dY = np.zeros_like(Y)
+    fn(p["ints"], p["flts"], p["th_c"], p["lane_c"], p["adv_lo"],
+       p["adv_hi"], p["nu_pack"], p["mnu_pack"], p["rf_c"],
+       tau, Y, dY, 0, op.B)
+    return dY
+
+
+@pytest.mark.parametrize("nq", [0, 4])
+def test_packed_python_kernel_bitwise(request, nq):
+    """The numba source, run as plain python, is bitwise equal to the
+    reference rhs_full — same groupings, same libm calls."""
+    bg, thermo, layout = _fixtures(request, nq)
+    rng = np.random.default_rng(7)
+    Y = np.empty((KS.size, layout.n_state))
+    tau = np.empty(KS.size)
+    op = BoltzmannOperator(bg, thermo, KS, layout)
+    for b, k in enumerate(KS):
+        tau0, Y[b] = _random_state(layout, bg, float(k), rng,
+                                   q_nodes=op.q_nodes)
+        tau[b] = 3.0 * tau0
+    dY = _packed_eval(op, kernel_rhs_full, tau, Y)
+    for b, k in enumerate(KS):
+        ref = ReferencePerturbationSystem(bg, thermo, float(k), layout)
+        assert np.array_equal(dY[b], ref.rhs_full(float(tau[b]), Y[b]))
+
+
+@pytest.mark.parametrize("nq", [0, 4])
+@pytest.mark.skipif(get_cext() is None,
+                    reason="no C compiler / ctypes kernel unavailable")
+def test_cext_kernel_within_oracle_budget(request, nq):
+    """The compiled C kernel agrees with the python reference within
+    the registered oracle.rhs_kernel budget (rtol 1e-10)."""
+    from repro.verify.tolerances import budget
+
+    bg, thermo, layout = _fixtures(request, nq)
+    rng = np.random.default_rng(11)
+    Y = np.empty((KS.size, layout.n_state))
+    tau = np.empty(KS.size)
+    op = BoltzmannOperator(bg, thermo, KS, layout)
+    for b, k in enumerate(KS):
+        tau0, Y[b] = _random_state(layout, bg, float(k), rng,
+                                   q_nodes=op.q_nodes)
+        tau[b] = 3.0 * tau0
+    dY = _packed_eval(op, get_cext(), tau, Y)
+    tol = budget("oracle.rhs_kernel")
+    for b, k in enumerate(KS):
+        ref = ReferencePerturbationSystem(bg, thermo, float(k), layout)
+        dy_ref = ref.rhs_full(float(tau[b]), Y[b])
+        scale = max(float(np.max(np.abs(dy_ref))), 1e-300)
+        dev = float(np.max(np.abs(dY[b] - dy_ref))) / scale
+        assert dev <= tol.rtol, f"lane {b}: {dev:.3e} > {tol.rtol:.1e}"
+
+
+@pytest.mark.skipif(get_numba() is None, reason="numba not installed")
+def test_numba_kernel_within_oracle_budget(request):
+    from repro.verify.tolerances import budget
+
+    bg, thermo, layout = _fixtures(request, 0)
+    rng = np.random.default_rng(13)
+    Y = np.empty((KS.size, layout.n_state))
+    tau = np.empty(KS.size)
+    op = BoltzmannOperator(bg, thermo, KS, layout)
+    for b, k in enumerate(KS):
+        tau0, Y[b] = _random_state(layout, bg, float(k), rng,
+                                   q_nodes=op.q_nodes)
+        tau[b] = 3.0 * tau0
+    dY = _packed_eval(op, get_numba(), tau, Y)
+    tol = budget("oracle.rhs_kernel")
+    for b, k in enumerate(KS):
+        ref = ReferencePerturbationSystem(bg, thermo, float(k), layout)
+        dy_ref = ref.rhs_full(float(tau[b]), Y[b])
+        scale = max(float(np.max(np.abs(dy_ref))), 1e-300)
+        assert float(np.max(np.abs(dY[b] - dy_ref))) / scale <= tol.rtol
+
+
+@pytest.mark.skipif("cext" not in available_kernels(),
+                    reason="no C compiler")
+def test_cext_kernel_threads_through_evolution(bg_scdm, thermo_scdm):
+    """One full mode evolved with rhs_kernel='cext' lands on the
+    python-kernel trajectory at golden tolerance."""
+    kwargs = dict(lmax_photon=8, lmax_nu=8, rtol=3e-4)
+    ref = evolve_mode(bg_scdm, thermo_scdm, 0.01, **kwargs)
+    com = evolve_mode(bg_scdm, thermo_scdm, 0.01, rhs_kernel="cext",
+                      **kwargs)
+    np.testing.assert_allclose(com.y_final, ref.y_final,
+                               rtol=1e-8, atol=1e-300)
+
+
+# ---------------------------------------------------------------------------
+# Kernel resolution and fallback
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_kernel_contract():
+    assert resolve_kernel("python") == "python"
+    assert resolve_kernel("auto") in available_kernels()
+    assert resolve_kernel("auto") != "auto"
+    with pytest.raises(ParameterError):
+        resolve_kernel("fortran")
+    # unavailable compiled kernels degrade to python, never raise
+    for name in ("numba", "cext"):
+        assert resolve_kernel(name) in (name, "python")
+
+
+def test_available_kernels_always_offer_python():
+    kernels = available_kernels()
+    assert kernels[-1] == "python"
+    assert len(set(kernels)) == len(kernels)
+
+
+def test_system_records_resolved_kernel(bg_scdm, thermo_scdm):
+    layout = StateLayout(**LAYOUT_NQ0)
+    sys_auto = PerturbationSystem(bg_scdm, thermo_scdm, 0.01, layout,
+                                  rhs_kernel="auto")
+    assert sys_auto.rhs_kernel in ("python", "numba", "cext")
+
+
+# ---------------------------------------------------------------------------
+# Telemetry: shared counters, flop-census parity, report round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_lane_system_shares_operator_and_counters(bg_scdm, thermo_scdm):
+    layout = StateLayout(**LAYOUT_NQ0)
+    batch = PerturbationSystemBatch(bg_scdm, thermo_scdm, KS, layout)
+    lane = batch.lane_system(2)
+    assert lane.op is batch.op
+    assert lane.k == float(KS[2])
+    with pytest.raises(ParameterError):
+        batch.lane_system(KS.size)
+    tau0, y = _random_state(layout, bg_scdm, float(KS[2]),
+                            np.random.default_rng(3))
+    before = batch.op.evals["python"]
+    lane.rhs_full(2.0 * tau0, y)
+    assert batch.op.evals["python"] == before + 1
+
+
+def test_flop_census_identical_on_every_path(bg_scdm, thermo_scdm):
+    """Satellite: n_flops accounting must not depend on the execution
+    path — serial, batched and compiled drivers all report the same
+    structural census."""
+    layout = StateLayout(**LAYOUT_NQ0)
+    serial = PerturbationSystem(bg_scdm, thermo_scdm, 0.01, layout)
+    batch = PerturbationSystemBatch(bg_scdm, thermo_scdm, KS, layout)
+    compiled = PerturbationSystem(bg_scdm, thermo_scdm, 0.01, layout,
+                                  rhs_kernel="auto")
+    assert (serial.flops_per_eval() == batch.flops_per_eval()
+            == compiled.flops_per_eval()
+            == batch.lane_system(0).flops_per_eval())
+
+
+def test_rhs_eval_counts_match_serial_vs_batched(bg_scdm, thermo_scdm):
+    """The telemetry RHS-eval totals agree between the serial and the
+    batched evolution of the same mode (identical step sequences)."""
+    from repro.perturbations import evolve_modes_batched
+
+    kwargs = dict(lmax_photon=8, lmax_nu=8, rtol=3e-4)
+    t_s = Telemetry()
+    evolve_mode(bg_scdm, thermo_scdm, 0.01, telemetry=t_s, **kwargs)
+    t_b = Telemetry()
+    evolve_modes_batched(bg_scdm, thermo_scdm, [0.01], telemetry=t_b,
+                         **kwargs)
+    assert t_s.rhs is not None and t_b.rhs is not None
+    assert t_s.rhs.total_evals == t_b.rhs.total_evals
+    assert t_s.modes[-1].n_rhs == t_b.modes[-1].n_rhs
+    assert t_s.modes[-1].flops_est == t_b.modes[-1].flops_est
+
+
+def test_rhs_metrics_roundtrip_and_merge():
+    m = RhsMetrics(requested="auto", active="cext",
+                   evals={"python": 10, "cext": 90},
+                   seconds={"cext": 0.5})
+    assert m.total_evals == 100
+    assert m.compiled_fraction == pytest.approx(0.9)
+    m2 = RhsMetrics.from_dict({"requested": m.requested,
+                               "active": m.active,
+                               "evals": dict(m.evals),
+                               "seconds": dict(m.seconds),
+                               "unknown_future_field": 1})
+    assert m2 == m
+    m2.merge(RhsMetrics(evals={"cext": 10}))
+    assert m2.total_evals == 110
+
+    report = RunReport(rhs=m)
+    back = RunReport.from_dict(report.to_dict())
+    assert back.rhs == m
+    assert back.to_dict()["totals"]["rhs_compiled_fraction"] == \
+        pytest.approx(0.9)
+
+
+def test_worker_payload_carries_rhs_section():
+    t = Telemetry()
+    t.record_rhs(requested="auto", active="cext",
+                 evals={"cext": 7}, seconds={"cext": 0.1})
+    t2 = Telemetry()
+    t2.merge_worker_payload(t.worker_payload())
+    assert t2.rhs is not None
+    assert t2.rhs.evals == {"cext": 7}
+    assert t2.rhs.active == "cext"
