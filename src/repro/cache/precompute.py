@@ -30,8 +30,9 @@ import numpy as np
 from ..background import Background
 from ..errors import CorruptCacheEntry
 from ..params import CosmologyParams
+from ..resilience import RetryPolicy
 from ..spectra.los import BesselCache
-from ..telemetry.report import CacheMetrics
+from ..telemetry.report import CacheMetrics, DegradationMetrics
 from ..thermo import ThermalHistory
 from .keys import cache_key
 from .sharing import SharedTableBlock
@@ -53,13 +54,24 @@ class PrecomputeCache:
     share_backend:
         ``"shm"`` (POSIX shared memory, the default) or ``"memmap"``
         for :meth:`publish`.
+    retry:
+        The :class:`~repro.resilience.RetryPolicy` governing corrupt-
+        entry quarantine: a load that raises
+        :class:`~repro.errors.CorruptCacheEntry` deletes the entry (the
+        store's contract) and the policy drives the rebuild — each
+        quarantine lands in ``self.degradation`` — instead of the
+        pre-chaos ad-hoc single silent heal.
     """
 
     def __init__(self, cache_dir, metrics: CacheMetrics | None = None,
-                 share_backend: str = "shm") -> None:
+                 share_backend: str = "shm",
+                 retry: RetryPolicy | None = None) -> None:
         self.store = TableStore(cache_dir)
         self.metrics = metrics if metrics is not None else CacheMetrics()
         self.share_backend = share_backend
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_retries=2, backoff_base=0.0, backoff_cap=0.0)
+        self.degradation = DegradationMetrics()
 
     # -- store plumbing -----------------------------------------------------
 
@@ -76,6 +88,53 @@ class PrecomputeCache:
         self.metrics.record_hit(kind, time.perf_counter() - t0, nbytes)
         return arrays
 
+    def _build_or_load(self, kind: str, key: str, build, from_tables):
+        """Load ``key`` or build-and-store it, under the retry policy.
+
+        A corrupt entry is quarantined by the store (deleted at load
+        time); the retry policy then re-attempts — which rebuilds,
+        since the entry is gone — and every quarantine is recorded as a
+        ``cache`` degradation event.  If corruption persists through
+        the policy's budget (e.g. the storage itself is bad), the final
+        fallback builds without the store at all: availability over
+        caching.
+        """
+        t_start = time.perf_counter()
+
+        def attempt():
+            t0 = time.perf_counter()
+            loaded = self.store.load(key)  # raises CorruptCacheEntry
+            if loaded is not None:
+                arrays, _meta, nbytes = loaded
+                self.metrics.record_hit(kind, time.perf_counter() - t0,
+                                        nbytes)
+                return from_tables(arrays)
+            t1 = time.perf_counter()
+            obj = build()
+            self._put(kind, key, obj.to_tables(),
+                      time.perf_counter() - t1)
+            return obj
+
+        def on_retry(n: int, exc: BaseException) -> None:
+            self.metrics.record_corrupt(kind)
+            self.degradation.record(
+                "cache", "quarantine",
+                f"{kind} entry {key[:12]} quarantined (retry {n}): {exc}",
+                seconds=time.perf_counter() - t_start,
+            )
+
+        try:
+            return self.retry.call(attempt, retry_on=CorruptCacheEntry,
+                                   on_retry=on_retry)
+        except CorruptCacheEntry as exc:
+            self.metrics.record_corrupt(kind)
+            self.degradation.record(
+                "cache", "quarantine_exhausted",
+                f"{kind} entry {key[:12]}: {exc}",
+                seconds=time.perf_counter() - t_start,
+            )
+            return build()
+
     def _put(self, kind: str, key: str, arrays: Mapping,
              build_seconds: float) -> None:
         nbytes = self.store.save(
@@ -91,14 +150,11 @@ class PrecomputeCache:
         """Build-or-load a :class:`Background` for ``params``."""
         key = cache_key("background", params,
                         {"a_min": a_min, "n_grid": n_grid})
-        tables = self._lookup("background", key)
-        if tables is not None:
-            return Background.from_tables(params, tables)
-        t0 = time.perf_counter()
-        bg = Background(params, a_min=a_min, n_grid=n_grid)
-        self._put("background", key, bg.to_tables(),
-                  time.perf_counter() - t0)
-        return bg
+        return self._build_or_load(
+            "background", key,
+            build=lambda: Background(params, a_min=a_min, n_grid=n_grid),
+            from_tables=lambda tables: Background.from_tables(params, tables),
+        )
 
     def thermal(self, background: Background, a_start: float = 1.0e-8,
                 n_grid: int = 6000, saha_switch: float = 0.985,
@@ -120,18 +176,16 @@ class PrecomputeCache:
             "x_e_reion": x_e_reion,
             "dz_reion": dz_reion,
         })
-        tables = self._lookup("thermal", key)
-        if tables is not None:
-            return ThermalHistory.from_tables(background, tables)
-        t0 = time.perf_counter()
-        thermo = ThermalHistory(
-            background, a_start=a_start, n_grid=n_grid,
-            saha_switch=saha_switch, z_reion=z_reion,
-            x_e_reion=x_e_reion, dz_reion=dz_reion,
+        return self._build_or_load(
+            "thermal", key,
+            build=lambda: ThermalHistory(
+                background, a_start=a_start, n_grid=n_grid,
+                saha_switch=saha_switch, z_reion=z_reion,
+                x_e_reion=x_e_reion, dz_reion=dz_reion,
+            ),
+            from_tables=lambda tables: ThermalHistory.from_tables(
+                background, tables),
         )
-        self._put("thermal", key, thermo.to_tables(),
-                  time.perf_counter() - t0)
-        return thermo
 
     def bessel(self, l_values: Sequence[int], x_max: float,
                dx: float = 0.25) -> BesselCache:
@@ -140,15 +194,16 @@ class PrecomputeCache:
         key = cache_key("bessel", None, {
             "x_max": float(x_max), "dx": float(dx), "l_values": l_sorted,
         })
-        tables = self._lookup("bessel", key)
-        if tables is not None:
-            return BesselCache.from_tables(tables)
-        t0 = time.perf_counter()
-        bc = BesselCache(float(x_max), dx=float(dx))
-        for l in l_sorted:
-            bc.table(l)
-        self._put("bessel", key, bc.to_tables(), time.perf_counter() - t0)
-        return bc
+        def build() -> BesselCache:
+            bc = BesselCache(float(x_max), dx=float(dx))
+            for l in l_sorted:
+                bc.table(l)
+            return bc
+
+        return self._build_or_load(
+            "bessel", key, build=build,
+            from_tables=BesselCache.from_tables,
+        )
 
     # -- zero-copy distribution ---------------------------------------------
 
@@ -186,6 +241,14 @@ class AttachedTables:
 
     @classmethod
     def attach(cls, manifest: dict) -> "AttachedTables":
+        from ..chaos import current_engine
+        from ..errors import CacheError
+
+        eng = current_engine()
+        if eng is not None and eng.fail_attach():
+            raise CacheError(
+                "chaos: injected shared-table attach failure"
+            )
         return cls(SharedTableBlock.attach(manifest))
 
     def _group(self, prefix: str) -> dict[str, np.ndarray]:

@@ -57,6 +57,32 @@ def _content_digest(arrays: dict[str, np.ndarray]) -> str:
     return h.hexdigest()
 
 
+def _chaos_corrupt_write(tmp: Path, key: str) -> None:
+    """Chaos-engine injection point: corrupt the staged entry *before*
+    the atomic rename, so the published file is exactly what a torn or
+    bit-flipped write would have produced.  Both modes are caught by
+    :meth:`TableStore.load` (zip parse failure or digest mismatch) and
+    surface as :class:`~repro.errors.CorruptCacheEntry`."""
+    from ..chaos import current_engine
+
+    eng = current_engine()
+    if eng is None:
+        return
+    mode = eng.cache_write_fault(key)
+    if mode is None:
+        return
+    size = tmp.stat().st_size
+    if mode == "torn":
+        with open(tmp, "r+b") as fh:
+            fh.truncate(max(size // 2, 1))
+    else:  # garble: flip a span of bytes mid-file
+        with open(tmp, "r+b") as fh:
+            fh.seek(size // 2)
+            span = fh.read(64)
+            fh.seek(size // 2)
+            fh.write(bytes(b ^ 0xFF for b in span))
+
+
 class TableStore:
     """A content-addressed directory of ``.npz`` table bundles."""
 
@@ -92,6 +118,7 @@ class TableStore:
                 np.savez(fh, **payload)
                 fh.flush()
                 os.fsync(fh.fileno())
+            _chaos_corrupt_write(tmp, key)
             nbytes = tmp.stat().st_size
             os.replace(tmp, path)
         finally:

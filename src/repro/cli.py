@@ -31,6 +31,7 @@ from . import (
     standard_cdm,
     tilted_cdm,
 )
+from .chaos import PROFILES
 from .cluster import MACHINES, paper_cost_model, scaling_study
 from .linger import load_run, save_run
 from .spectra import band_power_uk, cobe_normalization
@@ -116,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_CACHE_DIR)")
     p_run.add_argument("--no-cache", action="store_true",
                        help="ignore --cache-dir / $REPRO_CACHE_DIR")
+    p_run.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                       help="run under the seeded chaos engine: inject "
+                            "deterministic faults into the cache, compiled-"
+                            "kernel, and integrator layers and report every "
+                            "graceful-degradation event (off by default)")
+    p_run.add_argument("--chaos-profile", choices=sorted(PROFILES),
+                       default="all",
+                       help="which fault surfaces --chaos-seed arms "
+                            "(default: all)")
     p_run.add_argument("--output", required=True, help="archive (.npz)")
 
     p_spec = sub.add_parser("spectrum", help="C_l from an archive")
@@ -175,6 +185,27 @@ def cmd_info(args) -> int:
 
 
 def cmd_run(args) -> int:
+    if args.chaos_seed is not None:
+        from .chaos import ChaosPolicy, active
+
+        policy = ChaosPolicy.from_profile(args.chaos_profile,
+                                          seed=args.chaos_seed)
+        with active(policy) as engine:
+            rc = _cmd_run_inner(args)
+        s = engine.summary()
+        injected = ", ".join(f"{k}={v}" for k, v in
+                             sorted(s["injected"].items())) or "none"
+        # forked workers inherit the engine at fork and count their own
+        # budgets; their injections surface as degradation events in
+        # the report, not in this (master-process) tally
+        print(f"chaos: profile={args.chaos_profile} "
+              f"seed={args.chaos_seed}; "
+              f"injected (master process): {injected}")
+        return rc
+    return _cmd_run_inner(args)
+
+
+def _cmd_run_inner(args) -> int:
     params = MODELS[args.model]()
     kgrid = KGrid.from_k(np.linspace(args.k_min, args.k_max, args.nk))
     config = LingerConfig(
@@ -239,6 +270,11 @@ def cmd_run(args) -> int:
     path = save_run(result, args.output)
     print(f"archived to {path}")
     if args.report:
+        if cache is not None:
+            for e in cache.degradation.events:
+                telemetry.record_degradation(
+                    e["surface"], e["event"], e.get("detail", ""),
+                    e.get("seconds", 0.0))
         report = telemetry.build_report(meta={
             "model": args.model,
             "command": "run",
@@ -353,6 +389,13 @@ def _print_report_summary(report) -> None:
         rows.append(["degraded modes", len(fr.degraded_modes)])
         rows.append(["recovery wallclock [s]",
                      f"{fr.recovery_wall_seconds:.3f}"])
+    if report.degradation is not None and report.degradation.total_events:
+        dm = report.degradation
+        by = ", ".join(f"{s}={n}"
+                       for s, n in sorted(dm.events_by_surface.items()))
+        rows.append(["degradation events", f"{dm.total_events} ({by})"])
+        rows.append(["degradation recovery [s]",
+                     f"{dm.recovery_seconds:.3f}"])
     for tag, v in sorted(totals["messages_sent_by_tag"].items()):
         rows.append([f"messages {tag}", f"{v['count']} ({v['bytes']} B)"])
     print(format_table(["telemetry", "value"], rows, title="run report"))

@@ -25,7 +25,7 @@ import shutil
 import subprocess
 import tempfile
 
-__all__ = ["get_cext", "C_SOURCE"]
+__all__ = ["get_cext", "reset_cext", "BUILD_EVENTS", "C_SOURCE"]
 
 C_SOURCE = r"""
 #include <math.h>
@@ -186,37 +186,108 @@ _CEXT_RESOLVED = False
 _CEXT_FN = None
 _CEXT_LIB = None  # keep the CDLL alive for the life of the process
 
+#: Build/load incidents of this process's resolution: retries after a
+#: torn or stale .so, injected chaos faults, the final outcome.  Tests
+#: and the chaos oracle read this to attribute recovery behavior.
+BUILD_EVENTS: list[dict] = []
+
+
+def reset_cext() -> None:
+    """Forget the memoized resolution (tests and chaos recovery)."""
+    global _CEXT_RESOLVED, _CEXT_FN, _CEXT_LIB
+    _CEXT_RESOLVED = False
+    _CEXT_FN = None
+    _CEXT_LIB = None
+    BUILD_EVENTS.clear()
+
 
 def _find_compiler() -> str | None:
     return shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
 
 
+def _write_atomic(path: str, text: str) -> None:
+    """Publish a complete file or none: concurrent compilers of the
+    same digest must never read a half-written source."""
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 def _build() -> ctypes.CDLL | None:
+    """Compile-or-load the content-addressed .so, surviving races.
+
+    Multiple processes (forked PLINGER workers, parallel test runners)
+    may resolve the same digest concurrently against one shared /tmp
+    cache.  Every write is staged per-pid and atomically renamed, and a
+    shared object that fails to load (torn by a crashed writer, stale
+    from an interrupted build) is quarantined — unlinked and recompiled
+    under a bounded :class:`~repro.resilience.RetryPolicy` — instead of
+    poisoning every later process that trusts the path.
+    """
+    from ..chaos import current_engine
+    from ..resilience import RetryPolicy
+
     cc = _find_compiler()
     if cc is None:
         return None
+    eng = current_engine()
     digest = hashlib.sha256(C_SOURCE.encode()).hexdigest()[:16]
     cache = os.path.join(
         tempfile.gettempdir(), f"repro-rhs-cache-{os.getuid()}"
     )
     so_path = os.path.join(cache, f"rhs_{digest}.so")
-    if not os.path.exists(so_path):
-        os.makedirs(cache, exist_ok=True)
-        c_path = os.path.join(cache, f"rhs_{digest}.c")
-        tmp_so = os.path.join(cache, f"rhs_{digest}.{os.getpid()}.so")
-        with open(c_path, "w") as fh:
-            fh.write(C_SOURCE)
-        # -O3 but NOT -ffast-math: ISO C forbids FP reassociation, so
-        # the written evaluation order (and hence the oracle budget)
-        # survives optimization.
-        subprocess.run(
-            [cc, "-O3", "-fPIC", "-shared", "-o", tmp_so, c_path, "-lm"],
-            check=True,
-            capture_output=True,
-            timeout=120,
-        )
-        os.replace(tmp_so, so_path)  # atomic: races produce one winner
-    return ctypes.CDLL(so_path)
+    os.makedirs(cache, exist_ok=True)
+    if eng is not None and eng.stale_so():
+        # chaos: plant a truncated "shared object" at the published
+        # path, as an interrupted non-atomic writer would have.  The
+        # plant itself must rename in (fresh inode): truncating the
+        # path in place would tear pages out from under any mapping a
+        # *previous* resolution of this digest created in this process.
+        stale = os.path.join(cache, f"rhs_{digest}.{os.getpid()}.stale")
+        with open(stale, "wb") as fh:
+            fh.write(b"\x7fELF" + b"\x00" * 28)
+        os.replace(stale, so_path)
+        BUILD_EVENTS.append({"event": "chaos_stale_so", "path": so_path})
+
+    def compile_and_load() -> ctypes.CDLL:
+        if eng is not None and eng.fail_compile():
+            BUILD_EVENTS.append({"event": "chaos_compile_failure"})
+            raise subprocess.SubprocessError("chaos: injected compile failure")
+        if not os.path.exists(so_path):
+            c_path = os.path.join(cache, f"rhs_{digest}.c")
+            tmp_so = os.path.join(cache, f"rhs_{digest}.{os.getpid()}.so")
+            _write_atomic(c_path, C_SOURCE)
+            # -O3 but NOT -ffast-math: ISO C forbids FP reassociation,
+            # so the written evaluation order (and hence the oracle
+            # budget) survives optimization.
+            subprocess.run(
+                [cc, "-O3", "-fPIC", "-shared", "-o", tmp_so, c_path, "-lm"],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_so, so_path)  # atomic: races produce one winner
+        try:
+            return ctypes.CDLL(so_path)
+        except OSError:
+            # torn/stale .so: quarantine it so the retry recompiles
+            try:
+                os.unlink(so_path)
+            except OSError:
+                pass
+            raise
+
+    def on_retry(n: int, exc: BaseException) -> None:
+        BUILD_EVENTS.append({"event": "build_retry", "attempt": n,
+                             "error": str(exc)})
+
+    policy = RetryPolicy(max_retries=2, backoff_base=0.01, backoff_cap=0.1)
+    return policy.call(compile_and_load,
+                       retry_on=(OSError, subprocess.SubprocessError),
+                       on_retry=on_retry)
 
 
 def get_cext():
@@ -224,7 +295,7 @@ def get_cext():
 
     First call pays the compile (~0.2 s, cached on disk afterwards);
     any failure is swallowed and remembered so a broken toolchain costs
-    one attempt, not one per RHS call.
+    one attempt, not one per RHS call (``reset_cext`` re-arms it).
     """
     global _CEXT_RESOLVED, _CEXT_FN, _CEXT_LIB
     if _CEXT_RESOLVED:
@@ -232,7 +303,8 @@ def get_cext():
     _CEXT_RESOLVED = True
     try:
         lib = _build()
-    except Exception:
+    except Exception as exc:
+        BUILD_EVENTS.append({"event": "unavailable", "error": str(exc)})
         lib = None
     if lib is None:
         _CEXT_FN = None

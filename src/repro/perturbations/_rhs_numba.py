@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["kernel_rhs_full", "get_numba"]
+__all__ = ["kernel_rhs_full", "get_numba", "reset_numba"]
 
 
 def kernel_rhs_full(ints, flts, th_c, lane_c, adv_lo, adv_hi,
@@ -219,6 +219,13 @@ def kernel_rhs_full(ints, flts, th_c, lane_c, adv_lo, adv_hi,
 
 _NUMBA_RESOLVED = False
 _NUMBA_FN = None
+
+
+def reset_numba() -> None:
+    """Forget the memoized resolution (tests and chaos recovery)."""
+    global _NUMBA_RESOLVED, _NUMBA_FN
+    _NUMBA_RESOLVED = False
+    _NUMBA_FN = None
 
 
 def get_numba():

@@ -393,6 +393,11 @@ def evolve_mode(
             seconds=dict(system.op.seconds),
         )
 
+    for d in system.op.drain_demotions():
+        telemetry.record_degradation(
+            "kernel", "demotion", f"{d['from']}->{d['to']}: {d['reason']}"
+        )
+
     records = {name: arr[: recorder.i] for name, arr in recorder.arrays.items()}
     return ModeResult(
         k=k,

@@ -227,6 +227,11 @@ def evolve_modes_batched(
             seconds=dict(batch_system.op.seconds),
         )
 
+    for d in batch_system.op.drain_demotions():
+        telemetry.record_degradation(
+            "kernel", "demotion", f"{d['from']}->{d['to']}: {d['reason']}"
+        )
+
     results: list[ModeResult] = []
     for b in range(B):
         rec = recorders[b]

@@ -52,6 +52,7 @@ import numpy as np
 
 from ..background import Background, dlnf0_dlnq, fermi_dirac_f0
 from ..background.nu_massive import I_RHO_MASSLESS, momentum_grid
+from ..chaos import current_engine as _chaos_engine
 from ..errors import ParameterError
 from ..thermo import ThermalHistory
 from ..util.fastspline import UniformGridCubic
@@ -303,6 +304,15 @@ class BoltzmannOperator:
         self.instrument = False
         self._packed = None
         self._tau1 = np.zeros(1)
+        #: runtime NaN/Inf sentinel on compiled rhs_full outputs: a
+        #: non-finite dy demotes cext -> numba -> python mid-run (the
+        #: poisoned evaluation is recomputed by the fallback kernel, so
+        #: the trajectory never sees the bad values)
+        self.nan_sentinel = True
+        #: kernel -> fallback kernel, written by :meth:`_demote`
+        self.kernel_overrides: dict[str, str] = {}
+        #: demotion events ({"from","to","reason"}) awaiting collection
+        self.demotions: list[dict] = []
 
     # ------------------------------------------------------------------
     # Background pieces — scalar (serial hot path)
@@ -1034,9 +1044,47 @@ class BoltzmannOperator:
     # Kernel dispatch (the entry points the thin drivers call)
     # ------------------------------------------------------------------
 
+    def active_kernel(self, kernel: str) -> str:
+        """Resolve ``kernel`` through any recorded demotions."""
+        hops = 0
+        while kernel in self.kernel_overrides and hops < 3:
+            kernel = self.kernel_overrides[kernel]
+            hops += 1
+        return kernel
+
+    def _demote(self, kernel: str, reason: str) -> str:
+        """Demote a compiled kernel one rung (cext -> numba -> python).
+
+        Returns the fallback kernel; the event is queued in
+        ``demotions`` until :meth:`drain_demotions` collects it (the
+        evolve drivers fold it into telemetry once per mode/batch).
+        """
+        fallback = "python"
+        if kernel == "cext":
+            from ._rhs_numba import get_numba
+            if get_numba() is not None:
+                fallback = "numba"
+        self.kernel_overrides[kernel] = fallback
+        self.demotions.append(
+            {"from": kernel, "to": fallback, "reason": reason}
+        )
+        return fallback
+
+    def drain_demotions(self) -> list[dict]:
+        """Return and clear the pending demotion events."""
+        out, self.demotions = self.demotions, []
+        return out
+
+    def _finite(self, dY: np.ndarray) -> bool:
+        # NaN propagates through the sum and Inf saturates it, so one
+        # reduction checks every component
+        return math.isfinite(float(dY.sum()))
+
     def rhs_full_scalar(self, b: int, tau: float, y: np.ndarray,
                         dy: np.ndarray, kernel: str = "python") -> np.ndarray:
         """One lane's full RHS through the requested (resolved) kernel."""
+        if self.kernel_overrides:
+            kernel = self.active_kernel(kernel)
         self.evals[kernel] += 1
         if self.instrument:
             w0 = time.perf_counter()
@@ -1050,6 +1098,14 @@ class BoltzmannOperator:
             # (1, n) views: the packed kernels address state as rows
             self._call_packed(fn, self._tau1, y.reshape(1, y.size),
                               dy.reshape(1, dy.size), b, b + 1)
+            eng = _chaos_engine()
+            if eng is not None and eng.poison_rhs(kernel):
+                dy[:] = np.nan
+            if self.nan_sentinel and not self._finite(dy):
+                if self.instrument:
+                    self.seconds[kernel] += time.perf_counter() - w0
+                fallback = self._demote(kernel, "non-finite rhs_full output")
+                return self.rhs_full_scalar(b, tau, y, dy, fallback)
         if self.instrument:
             self.seconds[kernel] += time.perf_counter() - w0
         return dy
@@ -1057,6 +1113,8 @@ class BoltzmannOperator:
     def rhs_full_batch(self, tau: np.ndarray, Y: np.ndarray,
                        dY: np.ndarray, kernel: str = "python") -> np.ndarray:
         """All lanes' full RHS through the requested (resolved) kernel."""
+        if self.kernel_overrides:
+            kernel = self.active_kernel(kernel)
         self.evals[kernel] += self.B
         if self.instrument:
             w0 = time.perf_counter()
@@ -1068,6 +1126,14 @@ class BoltzmannOperator:
                 Y = np.ascontiguousarray(Y)
             tau = np.ascontiguousarray(tau, dtype=float)
             self._call_packed(fn, tau, Y, dY, 0, self.B)
+            eng = _chaos_engine()
+            if eng is not None and eng.poison_rhs(kernel):
+                dY[:] = np.nan
+            if self.nan_sentinel and not self._finite(dY):
+                if self.instrument:
+                    self.seconds[kernel] += time.perf_counter() - w0
+                fallback = self._demote(kernel, "non-finite rhs_full output")
+                return self.rhs_full_batch(tau, Y, dY, fallback)
         if self.instrument:
             self.seconds[kernel] += time.perf_counter() - w0
         return dY

@@ -23,7 +23,13 @@ from ..cache import (
     manifest_from_reals,
     manifest_to_reals,
 )
-from ..errors import IntegrationError, MessagePassingError, ProtocolError
+from ..chaos import current_engine
+from ..errors import (
+    CacheError,
+    IntegrationError,
+    MessagePassingError,
+    ProtocolError,
+)
 from ..linger.kgrid import KGrid
 from ..linger.serial import (
     LingerConfig,
@@ -38,8 +44,8 @@ from ..params import CosmologyParams
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..telemetry.report import FaultReport
 from ..thermo import ThermalHistory
+from ..resilience import FaultTolerance, run_with_ladder
 from .master import master_subroutine
-from .resilience import FaultTolerance, run_with_ladder
 from .tags import Tag
 from .worker import WorkerLog, worker_subroutine
 
@@ -63,6 +69,46 @@ class PlingerRunStats:
     worker_cpu_seconds: np.ndarray  #: per-mode CPU, ascending-k order
     #: fault-tolerance accounting; None on legacy (fail-loudly) runs
     fault_report: FaultReport | None = None
+
+
+def _attach_shared_tables(mp_handle, ft: FaultTolerance, telemetry):
+    """Resilient CACHE-manifest attach: timed probe, bounded retry,
+    local-build fallback.
+
+    The manifest broadcast arrives exactly once, so only the *attach*
+    step retries (on the already-received bytes), never the receive.
+    Returns the :class:`AttachedTables` view, or None when the worker
+    should rebuild its tables locally (dropped broadcast, garbled
+    manifest, or shared-memory attach failure through the retry
+    budget) — availability over zero-copy.
+    """
+    deadline = max(ft.silence_seconds, 1.0)
+    if mp_handle.myprobe(Tag.CACHE, mp_handle.mastid,
+                         timeout=deadline) is None:
+        telemetry.record_degradation(
+            "cache", "attach_timeout",
+            f"no CACHE broadcast within {deadline:.1f}s; "
+            "building tables locally",
+        )
+        return None
+    raw = mp_handle.myrecvraw(Tag.CACHE, mp_handle.mastid)
+    t0 = time.perf_counter()
+    try:
+        return ft.retry_policy().call(
+            lambda: AttachedTables.attach(manifest_from_reals(raw)),
+            retry_on=(ValueError, CacheError),
+            on_retry=lambda n, exc: telemetry.record_degradation(
+                "cache", "attach_retry", f"retry {n}: {exc}",
+                seconds=time.perf_counter() - t0,
+            ),
+        )
+    except (ValueError, CacheError) as exc:
+        telemetry.record_degradation(
+            "cache", "attach_fallback",
+            f"building tables locally: {exc}",
+            seconds=time.perf_counter() - t0,
+        )
+        return None
 
 
 def _worker_entry(mp_handle, background, thermo, kgrid, config,
@@ -103,22 +149,40 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
     if use_cache:
         # The CACHE broadcast trails INIT; consuming it by tag here
         # leaves INIT queued for the protocol loop below.
-        mp_handle.mycheckone(Tag.CACHE, mp_handle.mastid)
-        manifest = manifest_from_reals(
-            mp_handle.myrecvraw(Tag.CACHE, mp_handle.mastid)
-        )
-        attached = AttachedTables.attach(manifest)
-        if background is None:
-            background = attached.background(params)
-        if thermo is None:
-            thermo = attached.thermal(background)
-        cache_info = {
-            "attached": True,
-            "bytes_mapped": attached.bytes_mapped,
-            "backend": manifest["backend"],
-        }
+        if ft is None:
+            # legacy fail-loudly path: block on the broadcast
+            mp_handle.mycheckone(Tag.CACHE, mp_handle.mastid)
+            attached = AttachedTables.attach(manifest_from_reals(
+                mp_handle.myrecvraw(Tag.CACHE, mp_handle.mastid)
+            ))
+        else:
+            attached = _attach_shared_tables(mp_handle, ft, telemetry)
+        if attached is not None:
+            if background is None:
+                background = attached.background(params)
+            if thermo is None:
+                thermo = attached.thermal(background)
+            cache_info = {
+                "attached": True,
+                "bytes_mapped": attached.bytes_mapped,
+                "backend": attached.block.backend,
+            }
+        else:
+            # attach degraded away: deterministic local rebuild gives
+            # bit-identical tables, just without the zero-copy sharing
+            cache_info = {"attached": False, "bytes_mapped": 0,
+                          "backend": ""}
+            if background is None:
+                background = Background(params)
+            if thermo is None:
+                thermo = ThermalHistory(background)
 
     def attempt_mode(ik: int, cfg):
+        eng = current_engine()
+        if eng is not None and eng.collapse_mode(ik):
+            raise IntegrationError(
+                f"chaos: forced step collapse (ik={ik})"
+            )
         k = float(kgrid.k[ik - 1])
         header, payload, mode = compute_mode(
             background, thermo, k, ik=ik, config=cfg,
@@ -130,11 +194,20 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
             mode_sink[ik] = mode
         return header, payload
 
+    def on_integration_retry(ik: int, level: int, exc) -> None:
+        telemetry.record_degradation(
+            "integrator",
+            "transient_retry" if level == 0 else "ladder_escalation",
+            f"ik={ik} level={level}: {exc}",
+        )
+
     def compute(ik: int):
         if not ladder:
             return attempt_mode(ik, config)
         (header, payload), level = run_with_ladder(
-            config, lambda cfg: attempt_mode(ik, cfg)
+            config, lambda cfg: attempt_mode(ik, cfg),
+            transient_retries=1,
+            on_retry=lambda lvl, exc: on_integration_retry(ik, lvl, exc),
         )
         if level:
             header = replace(header, retry_level=level)
@@ -161,7 +234,10 @@ def _worker_entry(mp_handle, background, thermo, kgrid, config,
             out = []
             for ik in iks:
                 (header, payload), level = run_with_ladder(
-                    config, lambda cfg, _ik=ik: attempt_mode(_ik, cfg)
+                    config, lambda cfg, _ik=ik: attempt_mode(_ik, cfg),
+                    transient_retries=1,
+                    on_retry=lambda lvl, exc, _ik=ik: on_integration_retry(
+                        _ik, lvl, exc),
                 )
                 out.append((replace(header, retry_level=max(level, 1)),
                             payload))

@@ -29,7 +29,7 @@ from ..linger.kgrid import KGrid
 from ..linger.records import HEADER_LENGTH, ModeHeader, ModePayload
 from ..mp.api import MessagePassing
 from ..telemetry.report import FaultReport
-from .resilience import FaultTolerance
+from ..resilience import FaultTolerance
 from .tags import Tag
 
 __all__ = ["MasterLog", "master_subroutine", "INIT_MESSAGE_LENGTH"]
@@ -238,6 +238,7 @@ def _master_fault_tolerant(
     requeue: deque[list[int]] = deque()  # reassigned work, dispatched first
     outstanding: dict[int, set[int]] = {r: set() for r in workers}
     retries: dict[int, int] = {}  # per-ik re-dispatch count
+    retry_policy = ft.retry_policy()  # shared budget arithmetic
     now = time.monotonic()
     last_seen: dict[int, float] = {r: now for r in workers}
     lost_at: dict[int, float] = {}  # ik -> when its result was lost
@@ -276,7 +277,7 @@ def _master_fault_tolerant(
         t = time.monotonic()
         for ik in iks:
             retries[ik] = retries.get(ik, 0) + 1
-            if retries[ik] > ft.max_retries:
+            if retry_policy.exhausted(retries[ik]):
                 raise ProtocolError(
                     f"wavenumber ik={ik} failed {retries[ik]} dispatches "
                     f"(max_retries={ft.max_retries})"

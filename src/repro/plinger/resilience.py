@@ -1,179 +1,26 @@
-"""Fault-tolerance policy and building blocks for PLINGER.
-
-The paper's master/worker design assumes every worker survives a
-~75 CPU-hour run; this module supplies what a production deployment
-needs when they don't:
-
-* :class:`FaultTolerance` — the knobs: per-assignment deadlines, the
-  heartbeat cadence, retry/backoff bounds.  Passing one to
-  :func:`~repro.plinger.driver.run_plinger` (or the master/worker
-  subroutines) switches the protocol from *fail loudly* to *detect,
-  reassign, finish*.
-* :class:`HeartbeatThread` — a worker-side timer emitting
-  ``Tag.HEARTBEAT`` messages so the master can tell a busy worker from
-  a dead one while the integration holds the main thread.
-* :func:`escalation_ladder` / :func:`run_with_ladder` — graceful
-  degradation of the *compute* path: an ``IntegrationError`` retries
-  the mode with a tighter initial step, then a looser relative
-  tolerance, before giving up; the chosen level travels back to the
-  master in the result header so degraded modes are auditable.
+"""Compatibility shim: the resilience toolkit moved to
+:mod:`repro.resilience` once the cache, compiled kernels, and chaos
+engine needed the same retry/degradation machinery as the PLINGER
+protocol.  Import from there; this module re-exports the public names
+so existing ``repro.plinger.resilience`` imports keep working.
 """
 
-from __future__ import annotations
-
-import threading
-from dataclasses import dataclass, replace
-from typing import Callable, Iterator, TypeVar
-
-import numpy as np
-
-from ..errors import IntegrationError
-from ..mp.api import MessagePassing
-from .tags import Tag
+from ..resilience import (
+    LADDER_FIRST_STEP,
+    LADDER_RTOL_SCALE,
+    FaultTolerance,
+    HeartbeatThread,
+    RetryPolicy,
+    escalation_ladder,
+    run_with_ladder,
+)
 
 __all__ = [
     "FaultTolerance",
     "HeartbeatThread",
+    "RetryPolicy",
     "escalation_ladder",
     "run_with_ladder",
     "LADDER_FIRST_STEP",
     "LADDER_RTOL_SCALE",
 ]
-
-#: Level-1 retry: force the integrator to open with this initial step
-#: (a too-greedy first step is the classic stiff-start failure).
-LADDER_FIRST_STEP = 1e-4
-
-#: Level-2 retry: loosen rtol by this factor (still well inside the
-#: golden-regression tolerance for a handful of modes).
-LADDER_RTOL_SCALE = 10.0
-
-
-@dataclass(frozen=True)
-class FaultTolerance:
-    """Fault-tolerance policy for a PLINGER run.
-
-    ``worker_timeout``
-        Master side: seconds of total silence after which a worker with
-        outstanding work is declared dead (when heartbeats are off).
-        Worker side: how long to wait for the master's reply before
-        re-requesting work.
-    ``max_retries``
-        Bound on re-dispatches per wavenumber and on a worker's
-        consecutive unanswered READY re-sends.
-    ``heartbeat_interval``
-        Seconds between worker heartbeats; 0 disables them (liveness
-        then rests on ``worker_timeout`` alone).
-    ``missed_heartbeats``
-        K: a worker is declared dead after K intervals of silence.
-    ``poll_seconds``
-        The master's probe tick — the granularity of deadline checks.
-    ``payload_timeout``
-        How long the master waits for the tag-5 payload after its
-        tag-4 header before declaring the result torn.
-    ``backoff_base``
-        Worker READY-retry backoff: sleep ``base * 2**attempt`` before
-        each re-send.
-    ``integration_retries``
-        Enable the compute escalation ladder (see
-        :func:`escalation_ladder`).
-    """
-
-    worker_timeout: float = 30.0
-    max_retries: int = 5
-    heartbeat_interval: float = 0.0
-    missed_heartbeats: int = 3
-    poll_seconds: float = 0.05
-    payload_timeout: float = 2.0
-    backoff_base: float = 0.05
-    integration_retries: bool = True
-
-    @property
-    def silence_seconds(self) -> float:
-        """Silence after which a worker is presumed dead."""
-        if self.heartbeat_interval > 0:
-            return self.heartbeat_interval * self.missed_heartbeats
-        return self.worker_timeout
-
-
-class HeartbeatThread:
-    """Emits ``Tag.HEARTBEAT`` to ``target`` every ``interval`` seconds.
-
-    Runs as a daemon thread beside the worker's compute loop; sends are
-    serialized with the main thread by the handle's send lock.  A
-    transport error (e.g. the rank was killed by fault injection) ends
-    the thread quietly — the master's silence detector takes over from
-    there.
-    """
-
-    def __init__(self, mp: MessagePassing, target: int,
-                 interval: float) -> None:
-        self._mp = mp
-        self._target = target
-        self._interval = float(interval)
-        self._stop = threading.Event()
-        self._thread: threading.Thread | None = None
-        self.beats = 0
-
-    def start(self) -> "HeartbeatThread":
-        if self._interval <= 0:
-            return self
-        self._thread = threading.Thread(target=self._run, daemon=True)
-        self._thread.start()
-        return self
-
-    def _run(self) -> None:
-        while not self._stop.wait(self._interval):
-            try:
-                self._mp.mysendreal(np.array([float(self.beats)]),
-                                    Tag.HEARTBEAT, self._target)
-            except Exception:
-                return
-            self.beats += 1
-
-    def stop(self) -> None:
-        self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=self._interval + 1.0)
-            self._thread = None
-
-
-T = TypeVar("T")
-
-
-def escalation_ladder(config) -> Iterator[tuple[int, object]]:
-    """Yield ``(level, config)`` attempts for one mode integration.
-
-    Level 0 is the run configuration as given; level 1 forces a tight
-    initial step (:data:`LADDER_FIRST_STEP`); level 2 additionally
-    loosens rtol by :data:`LADDER_RTOL_SCALE`.  The caller reports any
-    level > 0 as a *degraded* mode.
-    """
-    yield 0, config
-    yield 1, replace(config, first_step=LADDER_FIRST_STEP)
-    yield 2, replace(config, first_step=LADDER_FIRST_STEP,
-                     rtol=config.rtol * LADDER_RTOL_SCALE)
-
-
-def run_with_ladder(
-    config,
-    attempt: Callable[[object], T],
-    enabled: bool = True,
-) -> tuple[T, int]:
-    """Run ``attempt(config)`` through the escalation ladder.
-
-    Returns ``(result, level)`` from the first level that succeeds;
-    re-raises the last :class:`~repro.errors.IntegrationError` when
-    every rung fails.  ``enabled=False`` collapses to a single plain
-    attempt (the fail-loudly behavior).
-    """
-    if not enabled:
-        return attempt(config), 0
-    last: IntegrationError | None = None
-    for level, cfg in escalation_ladder(config):
-        try:
-            return attempt(cfg), level
-        except IntegrationError as exc:
-            last = exc
-    assert last is not None
-    raise last

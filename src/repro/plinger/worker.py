@@ -23,7 +23,7 @@ from ..errors import ProtocolError
 from ..linger.records import ModeHeader, ModePayload
 from ..mp.api import MessagePassing
 from .master import INIT_MESSAGE_LENGTH
-from .resilience import FaultTolerance, HeartbeatThread
+from ..resilience import FaultTolerance, HeartbeatThread
 from .tags import Tag
 
 __all__ = ["WorkerLog", "worker_subroutine"]
@@ -170,6 +170,7 @@ def _worker_fault_tolerant(
     assignment, so at-least-once delivery of results is preserved.
     """
     mastid = mp.mastid
+    retry = ft.retry_policy()
     heartbeat = HeartbeatThread(mp, mastid, ft.heartbeat_interval).start()
     try:
         wait0 = time.perf_counter()
@@ -182,12 +183,12 @@ def _worker_fault_tolerant(
             probed = mp.myprobe(source=mastid, timeout=ft.worker_timeout)
             if probed is None:
                 attempts += 1
-                if attempts > ft.max_retries:
+                if retry.exhausted(attempts):
                     raise ProtocolError(
                         f"worker {mp.mytid} gave up: master silent through "
                         f"{attempts - 1} READY retries"
                     )
-                time.sleep(min(ft.backoff_base * 2 ** (attempts - 1), 1.0))
+                time.sleep(retry.backoff(attempts))
                 mp.mysendreal(np.array([0.0]), Tag.READY, mastid)
                 log.ready_retries += 1
                 continue

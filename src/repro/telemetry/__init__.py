@@ -18,6 +18,7 @@ from .report import (
     SCHEMA,
     BatchMetrics,
     ConstraintMetrics,
+    DegradationMetrics,
     FaultReport,
     ModeMetrics,
     RankTraffic,
@@ -40,6 +41,7 @@ __all__ = [
     "RankTraffic",
     "WorkerMetrics",
     "FaultReport",
+    "DegradationMetrics",
     "RhsMetrics",
     "SparseMetrics",
     "RunReport",

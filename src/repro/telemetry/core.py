@@ -24,6 +24,7 @@ from .report import (
     BatchMetrics,
     CacheMetrics,
     ConstraintMetrics,
+    DegradationMetrics,
     FaultReport,
     ModeMetrics,
     RankTraffic,
@@ -60,6 +61,7 @@ class Telemetry:
         self.constraints: list[ConstraintMetrics] = []
         self.sparse: SparseMetrics | None = None
         self.rhs: RhsMetrics | None = None
+        self.degradation: DegradationMetrics | None = None
         self.meta: dict = {}
 
     # -- scalar metrics -----------------------------------------------------
@@ -120,6 +122,15 @@ class Telemetry:
         else:
             self.rhs.merge(section)
 
+    def record_degradation(self, surface: str, event: str,
+                           detail: str = "", seconds: float = 0.0) -> None:
+        """Append one graceful-degradation event (kernel demotion,
+        cache quarantine, attach retry, transient integrator retry) to
+        the run's ``degradation`` section."""
+        if self.degradation is None:
+            self.degradation = DegradationMetrics()
+        self.degradation.record(surface, event, detail, seconds)
+
     def record_constraint(self, metrics: ConstraintMetrics) -> None:
         """Append one per-mode redundant-Einstein residual summary."""
         self.constraints.append(metrics)
@@ -169,6 +180,8 @@ class Telemetry:
             "counters": {n: c.value for n, c in self.counters.items()},
             "timers": {n: t.as_dict() for n, t in self.timers.items()},
             "rhs": asdict(self.rhs) if self.rhs is not None else None,
+            "degradation": asdict(self.degradation)
+            if self.degradation is not None else None,
         }
 
     def merge_worker_payload(self, payload: dict) -> None:
@@ -186,6 +199,12 @@ class Telemetry:
         if payload.get("rhs") is not None:
             self.record_rhs(**{k: payload["rhs"][k] for k in
                                ("requested", "active", "evals", "seconds")})
+        if payload.get("degradation") is not None:
+            if self.degradation is None:
+                self.degradation = DegradationMetrics()
+            self.degradation.merge(
+                DegradationMetrics.from_dict(payload["degradation"])
+            )
 
     # -- product ------------------------------------------------------------
 
@@ -207,6 +226,7 @@ class Telemetry:
             constraints=list(self.constraints),
             sparse=self.sparse,
             rhs=self.rhs,
+            degradation=self.degradation,
         )
 
 
@@ -272,6 +292,10 @@ class NullTelemetry(Telemetry):
 
     def record_rhs(self, requested="python", active="python",
                    evals=None, seconds=None) -> None:
+        pass
+
+    def record_degradation(self, surface, event, detail="",
+                           seconds=0.0) -> None:
         pass
 
     def record_traffic(self, rank, role, stats, tag_names=None) -> None:

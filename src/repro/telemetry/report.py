@@ -27,6 +27,7 @@ __all__ = [
     "ConstraintMetrics",
     "SparseMetrics",
     "RhsMetrics",
+    "DegradationMetrics",
     "RunReport",
 ]
 
@@ -425,6 +426,58 @@ class RhsMetrics:
 
 
 @dataclass
+class DegradationMetrics:
+    """Graceful-degradation event log (the chaos engine's ledger).
+
+    Every recovery the resilience layer performs — a kernel demotion
+    after the NaN sentinel trips, a corrupt cache entry quarantined and
+    rebuilt, a retried shared-table attach, a transient integrator
+    retry — lands here as one event, tagged by *surface* (``cache``,
+    ``kernel``, ``integrator``, ``mp``).  Additive v1 extension like
+    ``rhs``: reports without a ``degradation`` section load unchanged.
+    """
+
+    #: Each event: {"surface", "event", "detail", "seconds"}.
+    events: list = field(default_factory=list)
+    events_by_surface: dict = field(default_factory=dict)
+    #: Total wallclock spent inside recovery paths (retry sleeps,
+    #: rebuilds, recomputed evaluations) where the site measured it.
+    recovery_seconds: float = 0.0
+
+    @property
+    def total_events(self) -> int:
+        return len(self.events)
+
+    def record(self, surface: str, event: str, detail: str = "",
+               seconds: float = 0.0) -> None:
+        self.events.append({"surface": surface, "event": event,
+                            "detail": detail, "seconds": float(seconds)})
+        self.events_by_surface[surface] = (
+            self.events_by_surface.get(surface, 0) + 1
+        )
+        self.recovery_seconds += float(seconds)
+
+    def count(self, surface: str, event: str | None = None) -> int:
+        """Events on a surface, optionally of one kind."""
+        return sum(
+            1 for e in self.events
+            if e["surface"] == surface
+            and (event is None or e["event"] == event)
+        )
+
+    def merge(self, other: "DegradationMetrics") -> None:
+        """Fold another section in (PLINGER worker payloads)."""
+        for e in other.events:
+            self.record(e["surface"], e["event"], e.get("detail", ""),
+                        e.get("seconds", 0.0))
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DegradationMetrics":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
 class RunReport:
     """Everything a telemetered run measured, ready for JSON."""
 
@@ -441,6 +494,7 @@ class RunReport:
     constraints: list[ConstraintMetrics] = field(default_factory=list)
     sparse: SparseMetrics | None = None
     rhs: RhsMetrics | None = None
+    degradation: DegradationMetrics | None = None
     created_unix: float = field(default_factory=time.time)
 
     # -- aggregates ---------------------------------------------------------
@@ -496,6 +550,13 @@ class RunReport:
             "rhs_evals": self.rhs.total_evals if self.rhs else 0,
             "rhs_compiled_fraction": self.rhs.compiled_fraction
             if self.rhs else 0.0,
+            "degradation_events": self.degradation.total_events
+            if self.degradation else 0,
+            "degradation_by_surface": dict(
+                self.degradation.events_by_surface)
+            if self.degradation else {},
+            "degradation_recovery_seconds":
+            self.degradation.recovery_seconds if self.degradation else 0.0,
         }
 
     # -- serialization ------------------------------------------------------
@@ -518,6 +579,8 @@ class RunReport:
             "constraints": [asdict(c) for c in self.constraints],
             "sparse": asdict(self.sparse) if self.sparse is not None else None,
             "rhs": asdict(self.rhs) if self.rhs is not None else None,
+            "degradation": asdict(self.degradation)
+            if self.degradation is not None else None,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -547,6 +610,8 @@ class RunReport:
             if d.get("sparse") is not None else None,
             rhs=RhsMetrics.from_dict(d["rhs"])
             if d.get("rhs") is not None else None,
+            degradation=DegradationMetrics.from_dict(d["degradation"])
+            if d.get("degradation") is not None else None,
             created_unix=float(d.get("created_unix", 0.0)),
         )
 

@@ -36,6 +36,7 @@ __all__ = [
     "gauge_oracle",
     "sparse_cl_oracle",
     "rhs_kernel_oracle",
+    "chaos_degradation_oracle",
 ]
 
 #: ModeHeader fields carrying physics (not timing/accounting); the path
@@ -294,3 +295,96 @@ def gauge_oracle(
     mult_dev = float(np.max(np.abs(fs[2:9] - fc[2:9]))) / max(scale, 1e-300)
 
     return {"gauge_potentials": pot_dev, "gauge_multipoles": mult_dev}
+
+
+def chaos_degradation_oracle(
+    params,
+    seed: int = 0,
+    profile: str = "all",
+    nproc: int = 3,
+) -> dict:
+    """Golden-spectrum invariance under seeded cross-layer fault injection.
+
+    Runs one short PLINGER spectrum fault-free, then repeats it under a
+    fixed-seed :class:`~repro.chaos.ChaosPolicy` that hits all three
+    fault surfaces — cache (a corrupted store entry to quarantine plus
+    one failed shared-table attach), compiled kernel (a stale ``.so``,
+    one failed compilation, and one NaN-poisoned ``rhs_full`` output),
+    and integrator (one forced step collapse) — with fault tolerance
+    and telemetry armed, and compares the hierarchy C_l.
+
+    Returns ``{"chaos_degradation": dev, "chaos_events": counts}``:
+    the worst ``|cl - cl_ref| / max|cl_ref|`` plus the degradation-event
+    count per surface.  ``dev`` is NaN when any surface recorded zero
+    events — a chaos run that did not actually exercise every recovery
+    path proves nothing, so it must fail the budget check.
+    """
+    import tempfile
+
+    from ..cache import PrecomputeCache
+    from ..chaos import ChaosPolicy, active
+    from ..linger.kgrid import KGrid
+    from ..linger.serial import LingerConfig
+    from ..perturbations._rhs_cext import BUILD_EVENTS, get_cext, reset_cext
+    from ..perturbations.operator import available_kernels
+    from ..plinger import run_plinger
+    from ..resilience import FaultTolerance
+    from ..spectra import cl_from_hierarchy
+    from ..telemetry import Telemetry
+
+    kgrid = KGrid.from_k(np.geomspace(3e-4, 0.03, 6))
+    config = LingerConfig(lmax_photon=8, lmax_nu=8, rtol=1e-4,
+                          record_sources=False, keep_mode_results=False,
+                          rhs_kernel="auto")
+
+    clean, _ = run_plinger(params, kgrid, config, nproc=nproc,
+                           backend="inprocess")
+    _l, cl_ref = cl_from_hierarchy(clean)
+
+    policy = ChaosPolicy.from_profile(profile, seed=seed)
+    tel = Telemetry()
+    ft = FaultTolerance()
+    with tempfile.TemporaryDirectory() as tmp:
+        with active(policy):
+            # Kernel surface first: rebuild the content-addressed .so
+            # through the chaos gauntlet (planted stale .so, injected
+            # compile failure) so the spectrum below runs on a kernel
+            # that had to *recover* into existence.
+            reset_cext()
+            get_cext()
+            for ev in BUILD_EVENTS:
+                if ev["event"] != "unavailable":
+                    tel.record_degradation(
+                        "kernel", ev["event"],
+                        ", ".join(f"{k}={v}" for k, v in ev.items()
+                                  if k != "event"),
+                    )
+            # Cache surface: a warm-up build consumes the store-write
+            # corruption budget, so the run's own load below hits the
+            # corrupted entry and must quarantine + rebuild it.
+            PrecomputeCache(tmp).background(params)
+            cache = PrecomputeCache(tmp)
+            chaotic, _ = run_plinger(
+                params, kgrid, config, nproc=nproc, backend="inprocess",
+                telemetry=tel, fault_tolerance=ft, cache=cache,
+            )
+        for e in cache.degradation.events:
+            tel.record_degradation(e["surface"], e["event"],
+                                   e.get("detail", ""),
+                                   e.get("seconds", 0.0))
+    if available_kernels() == ("python",):
+        # no compiled kernel to poison on this host: the NaN-sentinel
+        # demotion cannot fire, so record the degradation floor itself
+        tel.record_degradation("kernel", "unavailable_fallback",
+                               "no compiled kernel on this host")
+    _l2, cl_chaos = cl_from_hierarchy(chaotic)
+
+    by_surface = (dict(tel.degradation.events_by_surface)
+                  if tel.degradation is not None else {})
+    counts = {s: int(by_surface.get(s, 0))
+              for s in ("cache", "kernel", "integrator")}
+    scale = max(float(np.max(np.abs(cl_ref))), 1e-300)
+    dev = float(np.max(np.abs(cl_chaos - cl_ref))) / scale
+    if any(n == 0 for n in counts.values()):
+        dev = float("nan")
+    return {"chaos_degradation": dev, "chaos_events": counts}

@@ -19,7 +19,12 @@ suite against one cosmology:
    (``oracle.sparse_cl``);
 7. replays one monitored mode's full-phase states through every
    available RHS kernel (lane-vectorized python, numba, cext) against
-   the scalar python reference (``oracle.rhs_kernel``).
+   the scalar python reference (``oracle.rhs_kernel``);
+8. re-runs a short PLINGER spectrum under a fixed-seed chaos policy
+   that injects faults into the cache, compiled-kernel, and integrator
+   layers, and requires the degraded run to reproduce the fault-free
+   C_l with at least one recovery event per surface
+   (``oracle.chaos_degradation``).
 
 Every check lands in a :class:`VerificationReport` as a
 (measured, threshold, passed) triple keyed by its tolerance-budget
@@ -43,6 +48,7 @@ from ..util import format_table
 from . import analytic
 from .constraints import quality_residuals
 from .oracles import (
+    chaos_degradation_oracle,
     gauge_oracle,
     paths_oracle,
     rhs_kernel_oracle,
@@ -316,6 +322,18 @@ def verify_run(
                             "RHS kernels vs scalar python reference",
                             kdevs["rhs_kernel"],
                             "kernels: " + ", ".join(available_kernels())))
+
+    if progress:
+        print("[verify] chaos degradation oracle (seeded fault injection)...")
+    cdevs = chaos_degradation_oracle(params)
+    ev = cdevs["chaos_events"]
+    report.checks.append(mk(
+        "oracle.chaos_degradation",
+        "golden C_l under seeded fault injection",
+        cdevs["chaos_degradation"],
+        "profile=all seed=0; recovery events: "
+        + ", ".join(f"{s}={n}" for s, n in ev.items()),
+    ))
 
     report.wall_seconds = time.perf_counter() - wall0
     return report

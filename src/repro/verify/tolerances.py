@@ -214,6 +214,28 @@ TOLERANCES: dict[str, Tolerance] = {
                 ">=1e-6 at these state magnitudes."
             ),
         ),
+        Tolerance(
+            "oracle.chaos_degradation", rtol=1e-8, atol=1e-12,
+            provenance=(
+                "One short PLINGER spectrum run fault-free and again "
+                "under a fixed-seed ChaosPolicy hitting all three fault "
+                "surfaces (corrupted cache entry + failed shared-table "
+                "attach, stale .so + injected compile failure + NaN-"
+                "poisoned compiled rhs_full, forced integrator step "
+                "collapse), worst |cl - cl_ref| / max|cl_ref|.  Every "
+                "recovery path is bit-preserving by construction: the "
+                "quarantined cache entry rebuilds deterministically, the "
+                "poisoned evaluation is recomputed through the fallback "
+                "kernel before the integrator sees it, and the collapsed "
+                "mode retries at the same config; measured 0.0.  1e-8 "
+                "allows compiled-vs-python kernel ulp drift after a mid-"
+                "run demotion while catching any recovery that actually "
+                "loses or perturbs work (which lands at the integrator "
+                "tolerance, >=1e-4).  The measured value is NaN — an "
+                "automatic failure — when any surface recorded zero "
+                "degradation events, so the check cannot pass vacuously."
+            ),
+        ),
         # -- analytic-limit oracles ----------------------------------------
         Tolerance(
             "analytic.superhorizon_eta", atol=0.02,

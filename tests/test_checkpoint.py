@@ -113,3 +113,66 @@ class TestCheckpointedRuns:
                 tmp_path / "foreign.journal", config, nproc=2,
                 background=bg_scdm, thermo=thermo_scdm,
             )
+
+
+class TestCrashResume:
+    """Satellite: a real SIGKILL mid-journal, then a resume *under
+    chaos injection* — the recovered run must be bitwise-identical to
+    an uninterrupted one (the journal stores %.17e, which round-trips
+    float64 exactly, and chaos recovery is bit-preserving)."""
+
+    def test_sigkill_mid_journal_then_chaos_resume(
+            self, tmp_path, scdm, bg_scdm, thermo_scdm, small_grid,
+            config):
+        import os
+        import signal
+        import time
+
+        from repro.chaos import ChaosPolicy, active
+        from repro.resilience import FaultTolerance
+
+        journal_path = tmp_path / "run.journal"
+
+        pid = os.fork()
+        if pid == 0:  # child: start the run, die whenever the parent says
+            try:
+                run_plinger_checkpointed(
+                    scdm, small_grid, journal_path, config, nproc=3,
+                    background=bg_scdm, thermo=thermo_scdm,
+                )
+            finally:
+                os._exit(0)
+
+        # parent: wait for at least one complete journal line, then
+        # SIGKILL the child mid-flight (no atexit, no cleanup)
+        deadline = time.time() + 120.0
+        while time.time() < deadline:
+            if journal_path.exists() and \
+                    journal_path.read_text().count("\n") >= 1:
+                break
+            time.sleep(0.02)
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass  # the child finished the whole grid first — still fine
+        os.waitpid(pid, 0)
+
+        pre = ModeJournal(journal_path).replay()
+        assert pre  # the crash left at least one durable mode behind
+
+        # resume under integrator chaos: the forced step collapse must
+        # be absorbed by a same-config transient retry, not change bits
+        with active(ChaosPolicy.from_profile("integrator", seed=1)):
+            result, resumed = run_plinger_checkpointed(
+                scdm, small_grid, journal_path, config, nproc=3,
+                background=bg_scdm, thermo=thermo_scdm,
+                fault_tolerance=FaultTolerance(),
+            )
+        assert resumed == len(pre)
+
+        reference = run_linger(scdm, small_grid, config,
+                               background=bg_scdm, thermo=thermo_scdm)
+        assert [h.ik for h in result.headers] == [1, 2, 3, 4, 5]
+        for got, ref in zip(result.payloads, reference.payloads):
+            np.testing.assert_array_equal(got.pack(), ref.pack())
+        assert all(h.retry_level == 0 for h in result.headers)

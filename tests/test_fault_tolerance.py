@@ -705,3 +705,95 @@ class TestEndToEndChaos:
             result.payloads[0].f_gamma, golden.payloads[0].f_gamma,
             rtol=1e-8,
         )
+
+
+class TestCacheTagFaults:
+    """Satellite: the precompute-table broadcast (Tag.CACHE) under the
+    same FaultyWorld accounting as the result stream.  A corrupted or
+    dropped manifest must degrade to local table builds — bit-identical
+    physics — and tally under ``faults_by_tag``."""
+
+    NK_CACHE = 5
+
+    @pytest.fixture(scope="class")
+    def cache_setup(self, scdm, bg_scdm, thermo_scdm):
+        kgrid = KGrid.from_k(np.geomspace(3e-4, 0.03, self.NK_CACHE))
+        config = LingerConfig(rtol=1e-4, record_sources=False,
+                              keep_mode_results=False)
+        golden, _ = run_plinger(
+            scdm, kgrid, config, nproc=3, backend="inprocess",
+            background=bg_scdm, thermo=thermo_scdm,
+        )
+        return kgrid, config, golden
+
+    def _ft(self):
+        return FaultTolerance(
+            worker_timeout=1.0, heartbeat_interval=0.25,
+            missed_heartbeats=4, poll_seconds=0.02, payload_timeout=2.0,
+            max_retries=2, backoff_base=0.01,
+        )
+
+    def test_faults_by_tag_name_maps_tags(self):
+        pol = FaultPolicy(selector=lambda m, c: m.tag == int(Tag.CACHE),
+                          action="corrupt_payload")
+        world = FaultyWorld(InProcessWorld(2), pol)
+        world.faults_by_tag[int(Tag.CACHE)] = 3
+        world.faults_by_tag[9999] = 1  # unknown tag: falls back to str
+        assert world.faults_by_tag_name == {"CACHE": 3, "9999": 1}
+
+    def test_corrupt_manifest_falls_back_to_local_build(
+            self, scdm, bg_scdm, thermo_scdm, cache_setup, tmp_path):
+        from repro.cache import PrecomputeCache
+        from repro.telemetry import Telemetry
+
+        kgrid, config, golden = cache_setup
+        corrupt = FaultPolicy.every_nth(1, tags=[Tag.CACHE],
+                                        action="corrupt_payload")
+        world = FaultyWorld(InProcessWorld(3), corrupt)
+        telemetry = Telemetry()
+        result, _stats = run_plinger(
+            scdm, kgrid, config, nproc=3, backend="inprocess",
+            background=bg_scdm, thermo=thermo_scdm,
+            cache=PrecomputeCache(tmp_path / "cache"),
+            fault_tolerance=self._ft(), world=world, telemetry=telemetry,
+        )
+        # both workers saw a garbled manifest: accounted on Tag.CACHE
+        assert world.faults_by_tag == {int(Tag.CACHE): 2}
+        assert world.faults_by_tag_name == {"CACHE": 2}
+        # each retried the attach, then built tables locally
+        dm = telemetry.degradation
+        assert dm is not None
+        assert dm.count("cache", "attach_fallback") == 2
+        # local builds are deterministic: physics bit-identical
+        for p_f, p_g in zip(result.payloads, golden.payloads):
+            np.testing.assert_allclose(p_f.f_gamma, p_g.f_gamma,
+                                       rtol=1e-8)
+            np.testing.assert_allclose(p_f.g_gamma, p_g.g_gamma,
+                                       rtol=1e-8)
+
+    def test_dropped_manifest_times_out_to_local_build(
+            self, scdm, bg_scdm, thermo_scdm, cache_setup, tmp_path):
+        from repro.cache import PrecomputeCache
+        from repro.telemetry import Telemetry
+
+        kgrid, config, golden = cache_setup
+        drop = FaultPolicy.every_nth(1, tags=[Tag.CACHE], action="drop",
+                                     max_faults=1)
+        world = FaultyWorld(InProcessWorld(3), drop)
+        telemetry = Telemetry()
+        result, _stats = run_plinger(
+            scdm, kgrid, config, nproc=3, backend="inprocess",
+            background=bg_scdm, thermo=thermo_scdm,
+            cache=PrecomputeCache(tmp_path / "cache"),
+            fault_tolerance=self._ft(), world=world, telemetry=telemetry,
+        )
+        assert world.faults_by_tag == {int(Tag.CACHE): 1}
+        assert world.faults_by_tag_name == {"CACHE": 1}
+        # one worker waited out the probe deadline and built locally;
+        # the other attached the shared block normally
+        dm = telemetry.degradation
+        assert dm is not None
+        assert dm.count("cache", "attach_timeout") == 1
+        for p_f, p_g in zip(result.payloads, golden.payloads):
+            np.testing.assert_allclose(p_f.f_gamma, p_g.f_gamma,
+                                       rtol=1e-8)
