@@ -23,6 +23,8 @@ The package implements the full LINGER/PLINGER system in Python:
   with zero-copy shared-memory distribution to PLINGER workers
 * :mod:`repro.verify`        — Einstein-constraint monitors,
   differential/analytic oracles, and the tolerance-budget registry
+* :mod:`repro.serve`         — the warm spectrum service: run-result
+  store, in-flight coalescing, resident PLINGER worker pool
 
 Quickstart::
 
@@ -60,6 +62,13 @@ from .perturbations import ModeResult, evolve_mode
 from .telemetry import NULL_TELEMETRY, RunReport, Telemetry
 from .cache import PrecomputeCache
 from .verify import ConstraintMonitor, VerificationReport, verify_run
+from .serve import (
+    ResultStore,
+    ServeClient,
+    ServeRequest,
+    SpectrumServer,
+    WarmPool,
+)
 from .errors import (
     CacheError,
     IntegrationError,
@@ -68,6 +77,7 @@ from .errors import (
     ProtocolError,
     ReproError,
     ScheduleError,
+    ServeError,
     VerificationError,
 )
 
@@ -98,6 +108,12 @@ __all__ = [
     "ConstraintMonitor",
     "VerificationReport",
     "verify_run",
+    "ResultStore",
+    "ServeClient",
+    "ServeRequest",
+    "SpectrumServer",
+    "WarmPool",
+    "ServeError",
     "ReproError",
     "VerificationError",
     "CacheError",

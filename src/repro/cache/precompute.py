@@ -148,8 +148,8 @@ class PrecomputeCache:
     def background(self, params: CosmologyParams, a_min: float = 1.0e-10,
                    n_grid: int = 4000) -> Background:
         """Build-or-load a :class:`Background` for ``params``."""
-        key = cache_key("background", params,
-                        {"a_min": a_min, "n_grid": n_grid})
+        key = params.digest("background",
+                            {"a_min": a_min, "n_grid": n_grid})
         return self._build_or_load(
             "background", key,
             build=lambda: Background(params, a_min=a_min, n_grid=n_grid),
@@ -168,7 +168,7 @@ class PrecomputeCache:
         table resolution does not enter the solve, so backgrounds of
         different ``n_grid`` share thermal entries.
         """
-        key = cache_key("thermal", background.params, {
+        key = background.params.digest("thermal", {
             "a_start": a_start,
             "n_grid": n_grid,
             "saha_switch": saha_switch,

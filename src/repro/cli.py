@@ -7,6 +7,8 @@ Subcommands mirror what a LINGER/PLINGER user did at the shell:
 * ``spectrum``  — C_l band powers from an archive (hierarchy method)
 * ``scaling``   — the Fig. 1 schedule simulation on a 1995 machine
 * ``verify``    — Einstein-constraint monitors + differential oracles
+* ``serve``     — long-lived warm spectrum service (daemon)
+* ``request``   — query a running spectrum service
 """
 
 from __future__ import annotations
@@ -155,6 +157,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_scal.add_argument("--nk", type=int, default=500)
     p_scal.add_argument("--nodes", type=int, nargs="+",
                         default=[1, 2, 4, 8, 16, 32, 64, 128, 256])
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve C_l spectra from a warm daemon",
+        description="Run the long-lived spectrum service: a newline-"
+                    "delimited-JSON TCP daemon answering cosmology-"
+                    "parameter requests from a content-addressed "
+                    "run-result store, in-flight request coalescing, "
+                    "and a resident warm PLINGER worker pool.")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="0 picks a free port (printed on start)")
+    p_serve.add_argument("--nproc", type=int, default=4,
+                         help="warm-pool ranks (1 master + nproc-1 "
+                              "resident workers)")
+    p_serve.add_argument("--store-dir", metavar="DIR", default=None,
+                         help="persist served results here (content-"
+                              "addressed npz; survives restarts)")
+    p_serve.add_argument("--store-cap-mb", type=int, default=256,
+                         help="in-memory result-store LRU cap")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         default=os.environ.get("REPRO_CACHE_DIR"),
+                         help="precompute-table cache shared with "
+                              "batch runs (default: $REPRO_CACHE_DIR)")
+    p_serve.add_argument("--journal", metavar="PATH", default=None,
+                         help="append-only JSONL request journal "
+                              "(drained on SIGTERM/exit)")
+    p_serve.add_argument("--ready-file", metavar="PATH", default=None,
+                         help="write 'host port' here once listening")
+
+    p_req = sub.add_parser(
+        "request",
+        help="query a running spectrum service")
+    p_req.add_argument("--host", default="127.0.0.1")
+    p_req.add_argument("--port", type=int, required=True)
+    p_req.add_argument("--op", choices=["spectrum", "ping", "stats",
+                                        "shutdown"],
+                       default="spectrum")
+    p_req.add_argument("--model", choices=sorted(MODELS), default="scdm")
+    p_req.add_argument("--k-min", type=float, default=3e-5)
+    p_req.add_argument("--k-max", type=float, default=3e-3)
+    p_req.add_argument("--nk", type=int, default=16)
+    p_req.add_argument("--lmax", type=int, default=16)
+    p_req.add_argument("--rtol", type=float, default=1e-4)
+    p_req.add_argument("--batch-size", type=int, default=1)
+    p_req.add_argument("--json", action="store_true",
+                       help="print the raw response document")
     return parser
 
 
@@ -430,6 +479,56 @@ def cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_serve(args) -> int:
+    from .serve import run_server
+
+    return run_server(
+        host=args.host, port=args.port, nproc=args.nproc,
+        store_dir=args.store_dir,
+        store_cap_bytes=args.store_cap_mb << 20,
+        cache_dir=args.cache_dir, journal_path=args.journal,
+        ready_file=args.ready_file,
+    )
+
+
+def cmd_request(args) -> int:
+    import json as _json
+
+    from .serve import ServeClient, ServeRequest
+
+    with ServeClient(args.host, args.port) as client:
+        if args.op == "ping":
+            print(_json.dumps(client.ping()))
+            return 0
+        if args.op == "stats":
+            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.op == "shutdown":
+            print(_json.dumps(client.shutdown()))
+            return 0
+        request = ServeRequest(
+            params=MODELS[args.model](),
+            k_min=args.k_min, k_max=args.k_max, nk=args.nk,
+            lmax=args.lmax, rtol=args.rtol,
+            batch_size=args.batch_size,
+        )
+        response = client.spectrum(request)
+    if args.json:
+        print(_json.dumps(response))
+        return 0
+    t = response["timing"]
+    print(f"tier={response['tier']} digest={response['digest'][:12]} "
+          f"wall={t['wall_s']:.3f}s queue={t['queue_wait_s']:.3f}s")
+    print(format_table(
+        ["l", "C_l", "delta-T_l [uK]"],
+        [[int(li), float(ci), float(bi)]
+         for li, ci, bi in zip(response["l"], response["cl"],
+                               response["band_power_uk"])],
+        title=f"served spectrum ({args.model})",
+    ))
+    return 0
+
+
 def cmd_scaling(args) -> int:
     machine = MACHINES[args.machine]
     cm = paper_cost_model()
@@ -453,6 +552,8 @@ def main(argv=None) -> int:
         "spectrum": cmd_spectrum,
         "verify": cmd_verify,
         "scaling": cmd_scaling,
+        "serve": cmd_serve,
+        "request": cmd_request,
     }
     return handlers[args.command](args)
 

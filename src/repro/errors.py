@@ -40,3 +40,9 @@ class CorruptCacheEntry(CacheError):
     """A cache entry failed its content-digest check (torn write,
     truncation, bit rot).  The store deletes the entry before raising,
     so the caller can simply rebuild."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The spectrum service was misused, received a malformed request,
+    or failed to complete one (the daemon maps this to an error
+    response instead of dropping the connection)."""

@@ -202,6 +202,21 @@ class CosmologyParams:
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    def digest(self, kind: str = "params", shape=None) -> str:
+        """The canonical content-address of this cosmology.
+
+        A thin veneer over :func:`repro.cache.keys.cache_key` — the
+        same bit-exact serialization (``float.hex`` per field) that
+        keys the precompute cache — so the spectrum service, the
+        run-result store and the tests all key a parameter set one way
+        instead of re-deriving canonical blobs at each call site.
+        ``shape`` carries any non-cosmological request shape (grid
+        sizes, tolerances, ...) into the key.
+        """
+        from .cache.keys import cache_key
+
+        return cache_key(kind, self, shape)
+
 
 def standard_cdm(**overrides) -> CosmologyParams:
     """The "standard CDM" model of the paper's Fig. 2.

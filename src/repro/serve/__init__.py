@@ -1,0 +1,50 @@
+"""repro.serve — the warm spectrum service.
+
+The paper's PLINGER is a batch program: one cosmology, one grid, one
+~75 CPU-hour run.  The roadmap's production target is the opposite
+shape — a stream of cosmology-parameter requests, most of them
+repeats or near-repeats.  This package serves that stream from three
+tiers (see :mod:`repro.serve.daemon`):
+
+1. a content-addressed **run-result store** — exact hits replay a
+   finished product bitwise (:mod:`repro.serve.results`);
+2. **in-flight coalescing** — identical concurrent requests share one
+   computation (the daemon's per-digest future map);
+3. a **warm pool** of resident PLINGER workers with shared-memory
+   tables kept attached across runs (:mod:`repro.serve.pool`).
+
+Everything is keyed by the bit-exact canonical digests of
+:mod:`repro.cache.keys`, and :mod:`repro.serve.lifecycle` guarantees
+shared-memory blocks are unlinked and the request journal drained on
+exit or SIGTERM.
+"""
+
+from .client import ServeClient
+from .daemon import ServeJournal, SpectrumServer, run_server, \
+    spectrum_product
+from .pool import PoolStats, WarmPool
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ServeRequest,
+    decode_message,
+    encode_message,
+)
+from .results import ResultStore, StoredResult
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "PoolStats",
+    "ResultStore",
+    "ServeClient",
+    "ServeJournal",
+    "ServeRequest",
+    "SpectrumServer",
+    "StoredResult",
+    "WarmPool",
+    "decode_message",
+    "encode_message",
+    "run_server",
+    "spectrum_product",
+]

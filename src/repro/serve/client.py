@@ -1,0 +1,84 @@
+"""Blocking client for the spectrum service.
+
+A thin stdlib-socket counterpart to the asyncio daemon: connect, send
+one JSON line per request, read one line back.  Used by the ``repro
+request`` CLI verb, the serve tests, and the benchmark's load
+generator (which opens many clients from worker threads — the daemon
+multiplexes them on its event loop).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..errors import ServeError
+from .protocol import MAX_LINE_BYTES, ServeRequest, decode_message, \
+    encode_message
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One persistent connection to a :class:`SpectrumServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = int(port)
+        try:
+            self._sock = socket.create_connection((host, self.port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach spectrum service at {host}:{port}: {exc}"
+            ) from exc
+        self._fh = self._sock.makefile("rb")
+
+    # -- raw round trip -----------------------------------------------------
+
+    def call(self, doc: dict) -> dict:
+        """Send one request document, return the response document."""
+        try:
+            self._sock.sendall(encode_message(doc))
+            line = self._fh.readline(MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            raise ServeError(f"spectrum service connection lost: {exc}"
+                             ) from exc
+        if not line:
+            raise ServeError("spectrum service closed the connection")
+        return decode_message(line)
+
+    # -- typed helpers ------------------------------------------------------
+
+    def spectrum(self, request: ServeRequest) -> dict:
+        """Request one C_l product; raises on an error response."""
+        response = self.call(request.to_doc())
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "request failed"))
+        return response
+
+    def ping(self) -> dict:
+        return self.call({"op": "ping"})
+
+    def stats(self) -> dict:
+        response = self.call({"op": "stats"})
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "stats failed"))
+        return response["stats"]
+
+    def shutdown(self) -> dict:
+        return self.call({"op": "shutdown"})
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -30,6 +30,7 @@ from .report import (
     RankTraffic,
     RunReport,
     RhsMetrics,
+    ServeMetrics,
     SparseMetrics,
     WorkerMetrics,
 )
@@ -62,6 +63,7 @@ class Telemetry:
         self.sparse: SparseMetrics | None = None
         self.rhs: RhsMetrics | None = None
         self.degradation: DegradationMetrics | None = None
+        self.serve: ServeMetrics | None = None
         self.meta: dict = {}
 
     # -- scalar metrics -----------------------------------------------------
@@ -227,6 +229,7 @@ class Telemetry:
             sparse=self.sparse,
             rhs=self.rhs,
             degradation=self.degradation,
+            serve=self.serve,
         )
 
 

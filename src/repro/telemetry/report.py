@@ -28,6 +28,7 @@ __all__ = [
     "SparseMetrics",
     "RhsMetrics",
     "DegradationMetrics",
+    "ServeMetrics",
     "RunReport",
 ]
 
@@ -478,6 +479,66 @@ class DegradationMetrics:
 
 
 @dataclass
+class ServeMetrics:
+    """Per-request accounting of the spectrum service.
+
+    Written by :class:`~repro.serve.daemon.SpectrumServer`: every
+    request lands in one tier — ``store`` (exact hit in the
+    content-addressed run-result store), ``coalesced`` (awaited an
+    identical in-flight computation), ``warm`` (computed on the
+    resident pool with the cosmology's tables already published) or
+    ``cold`` (computed after building+publishing fresh tables) — with
+    its queue wait and wall clock.  ``computed_runs`` counts *distinct*
+    computations, so on a duplicate-heavy mix
+    ``computed_runs < requests`` is the coalescing guarantee made
+    measurable.  Additive v1 extension like ``rhs``/``degradation``:
+    reports without a ``serve`` section load unchanged.
+    """
+
+    requests: int = 0
+    #: tier -> request count ("store" | "coalesced" | "warm" | "cold")
+    by_tier: dict[str, int] = field(default_factory=dict)
+    #: distinct computations dispatched (the coalescing counter)
+    computed_runs: int = 0
+    errors: int = 0
+    #: wall between a request arriving and its tier resolving
+    queue_wait_seconds: float = 0.0
+    #: wall inside actual spectrum computations (misses only)
+    compute_seconds: float = 0.0
+    #: tier -> total request wall seconds (for mean-latency reporting)
+    wall_by_tier: dict[str, float] = field(default_factory=dict)
+    #: run-result store occupancy at last request
+    store_entries: int = 0
+    store_bytes: int = 0
+    store_evictions: int = 0
+    store_corrupt: int = 0
+    #: cosmologies whose tables are resident in the warm pool
+    resident_models: int = 0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Fraction of requests that skipped a cold computation."""
+        if not self.requests:
+            return 0.0
+        cold = self.by_tier.get("cold", 0)
+        return 1.0 - cold / self.requests
+
+    def record_request(self, tier: str, queue_wait: float,
+                       wall: float) -> None:
+        self.requests += 1
+        self.by_tier[tier] = self.by_tier.get(tier, 0) + 1
+        self.queue_wait_seconds += float(queue_wait)
+        self.wall_by_tier[tier] = (
+            self.wall_by_tier.get(tier, 0.0) + float(wall)
+        )
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ServeMetrics":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclass
 class RunReport:
     """Everything a telemetered run measured, ready for JSON."""
 
@@ -495,6 +556,7 @@ class RunReport:
     sparse: SparseMetrics | None = None
     rhs: RhsMetrics | None = None
     degradation: DegradationMetrics | None = None
+    serve: ServeMetrics | None = None
     created_unix: float = field(default_factory=time.time)
 
     # -- aggregates ---------------------------------------------------------
@@ -557,6 +619,13 @@ class RunReport:
             if self.degradation else {},
             "degradation_recovery_seconds":
             self.degradation.recovery_seconds if self.degradation else 0.0,
+            "serve_requests": self.serve.requests if self.serve else 0,
+            "serve_by_tier": dict(self.serve.by_tier)
+            if self.serve else {},
+            "serve_computed_runs": self.serve.computed_runs
+            if self.serve else 0,
+            "serve_warm_hit_rate": self.serve.warm_hit_rate
+            if self.serve else 0.0,
         }
 
     # -- serialization ------------------------------------------------------
@@ -581,6 +650,7 @@ class RunReport:
             "rhs": asdict(self.rhs) if self.rhs is not None else None,
             "degradation": asdict(self.degradation)
             if self.degradation is not None else None,
+            "serve": asdict(self.serve) if self.serve is not None else None,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -612,6 +682,8 @@ class RunReport:
             if d.get("rhs") is not None else None,
             degradation=DegradationMetrics.from_dict(d["degradation"])
             if d.get("degradation") is not None else None,
+            serve=ServeMetrics.from_dict(d["serve"])
+            if d.get("serve") is not None else None,
             created_unix=float(d.get("created_unix", 0.0)),
         )
 

@@ -37,6 +37,7 @@ __all__ = [
     "sparse_cl_oracle",
     "rhs_kernel_oracle",
     "chaos_degradation_oracle",
+    "serve_result_oracle",
 ]
 
 #: ModeHeader fields carrying physics (not timing/accounting); the path
@@ -388,3 +389,70 @@ def chaos_degradation_oracle(
     if any(n == 0 for n in counts.values()):
         dev = float("nan")
     return {"chaos_degradation": dev, "chaos_events": counts}
+
+
+def serve_result_oracle(params, nproc: int = 3) -> dict:
+    """Three-tier identity of the spectrum service.
+
+    One :class:`~repro.serve.ServeRequest` is answered three ways:
+
+    * **cold** — serial :func:`~repro.linger.serial.run_linger` (the
+      reference path, no service machinery at all);
+    * **warm** — a :class:`~repro.serve.WarmPool` run twice, the
+      second run with the cosmology's tables resident and the workers'
+      attachments reused (the tier a repeat-cosmology request hits);
+    * **store** — the warm product written to a
+      :class:`~repro.serve.ResultStore` and read back *through the
+      disk npz round trip* by a second store instance (the tier an
+      exact-repeat request hits, including across daemon restarts).
+
+    Returns ``{"serve_result": dev, "serve_tiers": {...}}`` where
+    ``dev`` is the worst ``max|cl - cl_ref| / max|cl_ref|`` over the
+    warm and store tiers against the cold reference — bitwise-zero in
+    practice, budgeted at ``oracle.serve_result``.  ``dev`` is NaN when
+    the second pool run was not actually warm or the store replay
+    missed: the check must exercise the real tiers to mean anything.
+    """
+    import tempfile
+
+    from ..linger.serial import run_linger
+    from ..serve import ResultStore, ServeRequest, WarmPool, \
+        spectrum_product
+
+    request = ServeRequest(params=params, k_min=3e-4, k_max=3e-3,
+                           nk=6, lmax=8, rtol=1e-4)
+    kgrid = request.kgrid()
+    l_top = request.lmax - 3
+
+    serial = run_linger(params, kgrid, request.config())
+    _l, cl_ref = spectrum_product(params, kgrid.k, serial.payloads,
+                                  l_top=l_top)
+
+    with WarmPool(nproc=nproc) as pool:
+        pool.run(params, kgrid, request.config())
+        warm_run, was_warm = pool.run(params, kgrid, request.config())
+    _l, cl_warm = spectrum_product(params, kgrid.k, warm_run.payloads,
+                                   l_top=l_top)
+
+    digest = request.digest()
+    with tempfile.TemporaryDirectory() as tmp:
+        writer = ResultStore(tmp)
+        writer.put(digest, {"l": _l.astype(np.int64),
+                            "cl": np.asarray(cl_warm)})
+        reader = ResultStore(tmp)  # fresh instance: must hit the disk
+        hit = reader.get(digest)
+    store_missed = hit is None or reader.hits_disk != 1
+    cl_store = cl_warm if store_missed else hit.arrays["cl"]
+
+    scale = max(float(np.max(np.abs(cl_ref))), 1e-300)
+    dev = max(
+        float(np.max(np.abs(cl_warm - cl_ref))) / scale,
+        float(np.max(np.abs(cl_store - cl_ref))) / scale,
+    )
+    if not was_warm or store_missed:
+        dev = float("nan")
+    return {
+        "serve_result": dev,
+        "serve_tiers": {"warm": bool(was_warm),
+                        "store": not store_missed},
+    }

@@ -24,7 +24,11 @@ suite against one cosmology:
    that injects faults into the cache, compiled-kernel, and integrator
    layers, and requires the degraded run to reproduce the fault-free
    C_l with at least one recovery event per surface
-   (``oracle.chaos_degradation``).
+   (``oracle.chaos_degradation``);
+9. answers one spectrum request through all three serving tiers —
+   cold serial, resident warm pool, and the run-result store's npz
+   round trip — and requires bit-level C_l agreement
+   (``oracle.serve_result``).
 
 Every check lands in a :class:`VerificationReport` as a
 (measured, threshold, passed) triple keyed by its tolerance-budget
@@ -52,6 +56,7 @@ from .oracles import (
     gauge_oracle,
     paths_oracle,
     rhs_kernel_oracle,
+    serve_result_oracle,
     sparse_cl_oracle,
 )
 from .tolerances import budget
@@ -333,6 +338,19 @@ def verify_run(
         cdevs["chaos_degradation"],
         "profile=all seed=0; recovery events: "
         + ", ".join(f"{s}={n}" for s, n in ev.items()),
+    ))
+
+    if progress:
+        print("[verify] serve oracle (cold vs warm pool vs result store)...")
+    sdevs2 = serve_result_oracle(params)
+    tiers = sdevs2["serve_tiers"]
+    report.checks.append(mk(
+        "oracle.serve_result",
+        "served C_l across store/warm/cold tiers",
+        sdevs2["serve_result"],
+        "tiers exercised: "
+        + ", ".join(f"{t}={'yes' if ok else 'NO'}"
+                    for t, ok in tiers.items()),
     ))
 
     report.wall_seconds = time.perf_counter() - wall0

@@ -236,6 +236,28 @@ TOLERANCES: dict[str, Tolerance] = {
                 "degradation events, so the check cannot pass vacuously."
             ),
         ),
+        Tolerance(
+            "oracle.serve_result", rtol=1e-12, atol=0.0,
+            provenance=(
+                "The spectrum service's three-tier identity: one request "
+                "computed cold by serial LINGER, computed on the resident "
+                "warm pool (tables published once and kept attached), and "
+                "replayed from the content-addressed run-result store "
+                "through its npz round trip, worst |cl - cl_ref| / "
+                "max|cl_ref| across tiers.  Agreement is bitwise by "
+                "construction — the pool runs the PLINGER wire protocol "
+                "whose serial equality oracle.paths_plinger pins, the "
+                "product arithmetic is the same float64 code on the same "
+                "records, and the store persists float64 arrays exactly "
+                "(measured 0.0).  1e-12 (vs the golden 1e-8) encodes the "
+                "stronger claim: a cache tier that returns anything but "
+                "the computed spectrum is a correctness bug, not a "
+                "tolerance question.  The measured value is NaN — an "
+                "automatic failure — if the second pool run was not "
+                "actually warm or the store replay missed, so the check "
+                "cannot pass without exercising all three tiers."
+            ),
+        ),
         # -- analytic-limit oracles ----------------------------------------
         Tolerance(
             "analytic.superhorizon_eta", atol=0.02,
