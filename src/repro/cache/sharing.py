@@ -36,6 +36,10 @@ from .store import _c_contig
 
 __all__ = ["SharedTableBlock", "manifest_to_reals", "manifest_from_reals"]
 
+#: Backend label of a block rebuilt from wire-shipped bytes (not
+#: attachable by name: the "segment" is private to the rebuilding rank).
+WIRE_BACKEND = "wire"
+
 SCHEMA = "repro.cache.SharedTableBlock/v1"
 
 #: Array start alignment inside the block (bytes); keeps every table
@@ -180,14 +184,81 @@ class SharedTableBlock:
                     "(creator unlinked it early?)"
                 ) from exc
             buf = shm.buf
-        else:
-            mmap = np.memmap(manifest["name"], dtype=np.uint8, mode="r",
-                             shape=(total,))
+        elif manifest["backend"] == "memmap":
+            try:
+                mmap = np.memmap(manifest["name"], dtype=np.uint8,
+                                 mode="r", shape=(total,))
+            except (OSError, ValueError) as exc:
+                # a missing backing file must degrade exactly like a
+                # missing shm segment (CacheError feeds the resilient
+                # attach ladder) — on a remote host the path simply
+                # does not exist, which is routine, not fatal
+                raise CacheError(
+                    f"memmap file {manifest['name']!r} is not "
+                    f"accessible from this host: {exc}"
+                ) from exc
             buf = mmap
+        else:
+            # a "wire" manifest names no attachable segment: the block
+            # exists only as bytes shipped to whoever rebuilt it
+            raise CacheError(
+                f"backend {manifest['backend']!r} is not attachable; "
+                "request the tables over the wire instead"
+            )
         views = cls._views(buf, manifest["arrays"])
         for v in views.values():
             v.flags.writeable = False
         return cls(manifest, views, owner=False, shm=shm, mmap=mmap)
+
+    # -- cross-host wire transfer -------------------------------------------
+
+    def wire_data(self) -> np.ndarray:
+        """The block's raw bytes as float64 reals for the message wire.
+
+        Shared memory only spans one host; a remote rank gets the block
+        itself shipped over the ordinary PLINGER wire (``Tag.TABLES``)
+        and rebuilds a private copy with :meth:`from_wire`.  The byte
+        stream is padded to a whole number of reals; ``total_bytes`` in
+        the manifest recovers the exact length.
+        """
+        total = self.total_bytes
+        if self._shm is not None:
+            raw = bytes(self._shm.buf[:total])
+        elif self._mmap is not None:
+            raw = self._mmap[:total].tobytes()
+        else:
+            raise CacheError("block has no backing buffer to ship")
+        raw += b"\x00" * (-len(raw) % 8)
+        return np.frombuffer(raw, dtype="<f8").astype(np.float64)
+
+    @classmethod
+    def from_wire(cls, manifest: dict,
+                  reals: np.ndarray) -> "SharedTableBlock":
+        """Rebuild a block from a manifest plus wire-shipped reals.
+
+        The cross-host attach path: no page sharing (each remote rank
+        holds a private read-only copy), but bit-identical contents —
+        the reals are reinterpreted as the original byte stream, never
+        parsed.
+        """
+        if manifest.get("schema") != SCHEMA:
+            raise CacheError(
+                f"not a {SCHEMA} manifest: {manifest.get('schema')!r}"
+            )
+        total = int(manifest["total_bytes"])
+        raw = np.ascontiguousarray(
+            np.asarray(reals, dtype=np.float64)).view(np.uint8)
+        if raw.size < total:
+            raise CacheError(
+                f"wire table block truncated: got {raw.size} of "
+                f"{total} bytes"
+            )
+        buf = raw[:total].copy()
+        views = cls._views(buf, manifest["arrays"])
+        for v in views.values():
+            v.flags.writeable = False
+        wire_manifest = dict(manifest, backend=WIRE_BACKEND)
+        return cls(wire_manifest, views, owner=False, shm=None, mmap=None)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -9,6 +9,7 @@ Subcommands mirror what a LINGER/PLINGER user did at the shell:
 * ``verify``    — Einstein-constraint monitors + differential oracles
 * ``serve``     — long-lived warm spectrum service (daemon)
 * ``request``   — query a running spectrum service
+* ``worker``    — join a sockets-backend run as a (remote) worker rank
 """
 
 from __future__ import annotations
@@ -88,9 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "(compiled, ~same values within the verify "
                             "budget), 'auto' (fastest available); an "
                             "unavailable kernel falls back to python")
-    p_run.add_argument("--backend", choices=["inprocess", "procs"],
+    p_run.add_argument("--backend",
+                       choices=["inprocess", "procs", "sockets"],
                        default="procs",
-                       help="PLINGER transport (with --parallel)")
+                       help="PLINGER transport (with --parallel); "
+                            "'sockets' runs every worker as a separate "
+                            "OS process over real TCP and accepts "
+                            "elastic ranks (see 'repro worker')")
+    p_run.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="with --backend sockets: listen here and "
+                            "wait for external 'repro worker --connect' "
+                            "ranks instead of forking local workers "
+                            "(PORT 0 picks a free port)")
+    p_run.add_argument("--ready-file", metavar="PATH", default=None,
+                       help="with --listen: write 'host port' here once "
+                            "the listener is up")
     p_run.add_argument("--worker-timeout", type=float, default=0.0,
                        metavar="SECONDS",
                        help="enable fault-tolerant scheduling: declare a "
@@ -129,6 +142,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="which fault surfaces --chaos-seed arms "
                             "(default: all)")
     p_run.add_argument("--output", required=True, help="archive (.npz)")
+
+    p_wrk = sub.add_parser(
+        "worker",
+        help="join a sockets-backend PLINGER run as a worker rank",
+        description="Connect to a 'repro run --backend sockets --listen' "
+                    "master (possibly on another machine) and serve as a "
+                    "worker rank until dismissed.  The model/grid/"
+                    "integration options must mirror the master's run — "
+                    "the INIT broadcast carries only the grid size, so "
+                    "the physics configuration travels out of band.  A "
+                    "worker that connects after the run has started is "
+                    "admitted as an elastic rank (fault-tolerant runs "
+                    "only).",
+    )
+    p_wrk.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="the master's listener address")
+    p_wrk.add_argument("--model", choices=sorted(MODELS), default="scdm")
+    p_wrk.add_argument("--k-min", type=float, default=3e-5)
+    p_wrk.add_argument("--k-max", type=float, default=3e-3)
+    p_wrk.add_argument("--nk", type=int, default=24)
+    p_wrk.add_argument("--lmax", type=int, default=24)
+    p_wrk.add_argument("--rtol", type=float, default=1e-4)
+    p_wrk.add_argument("--batch-size", type=int, default=1, metavar="B",
+                       help="must mirror the master's --batch-size")
+    p_wrk.add_argument("--rhs-kernel",
+                       choices=["python", "numba", "cext", "auto"],
+                       default="python")
+    p_wrk.add_argument("--worker-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="this rank's fault-tolerance policy; must be "
+                            ">0 iff the master runs with "
+                            "--worker-timeout (the resilient wire "
+                            "header differs from the legacy one)")
+    p_wrk.add_argument("--max-retries", type=int, default=3)
+    p_wrk.add_argument("--heartbeat-interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="liveness heartbeat cadence (0 = off; "
+                            "ignored without --worker-timeout)")
+    p_wrk.add_argument("--use-cache", action="store_true",
+                       help="attach the master's shared precompute "
+                            "tables instead of building locally: "
+                            "shared memory when co-located, wire "
+                            "transfer across hosts (the master must "
+                            "run with a cache)")
+    p_wrk.add_argument("--connect-timeout", type=float, default=30.0)
 
     p_spec = sub.add_parser("spectrum", help="C_l from an archive")
     p_spec.add_argument("archive")
@@ -288,6 +346,26 @@ def _cmd_run_inner(args) -> int:
                   "--parallel", file=sys.stderr)
             return 2
         return _run_sparse(args, params, kgrid, telemetry, cache)
+    world = None
+    if args.listen is not None:
+        if args.backend != "sockets" or args.parallel < 2:
+            print("error: --listen requires --backend sockets and "
+                  "--parallel >= 2", file=sys.stderr)
+            return 2
+        from .mp.backends.sockets import SocketsWorld
+
+        host, _, port = args.listen.rpartition(":")
+        world = SocketsWorld(args.parallel, host=host or "127.0.0.1",
+                             port=int(port), spawn_workers=False,
+                             connect_timeout=max(args.worker_timeout,
+                                                 120.0))
+        print(f"sockets: listening on {world.host}:{world.port}; "
+              f"waiting for {args.parallel - 1} worker(s) "
+              "('repro worker --connect "
+              f"{world.host}:{world.port}')")
+        if args.ready_file:
+            with open(args.ready_file, "w") as fh:
+                fh.write(f"{world.host} {world.port}\n")
     if args.parallel >= 2:
         result, stats = run_plinger(params, kgrid, config,
                                     nproc=args.parallel,
@@ -295,6 +373,7 @@ def _cmd_run_inner(args) -> int:
                                     telemetry=telemetry,
                                     batch_size=args.batch_size,
                                     fault_tolerance=fault_tolerance,
+                                    world=world,
                                     cache=cache)
         print(f"PLINGER: {kgrid.nk} modes on {args.parallel - 1} workers, "
               f"{stats.wall_seconds:.1f} s wallclock, "
@@ -450,6 +529,57 @@ def _print_report_summary(report) -> None:
     print(format_table(["telemetry", "value"], rows, title="run report"))
 
 
+def cmd_worker(args) -> int:
+    """Serve as one remote PLINGER rank over TCP."""
+    from .mp.backends.sockets import connect_worker
+    from .errors import MessagePassingError
+    from .plinger.driver import _worker_entry
+
+    host, _, port = args.connect.rpartition(":")
+    params = MODELS[args.model]()
+    kgrid = KGrid.from_k(np.linspace(args.k_min, args.k_max, args.nk))
+    config = LingerConfig(
+        lmax_photon=args.lmax,
+        rtol=args.rtol,
+        nq=8 if params.omega_nu > 0 else 0,
+        record_sources=False,
+        keep_mode_results=False,
+        rhs_kernel=args.rhs_kernel,
+    )
+    fault_tolerance = None
+    if args.worker_timeout > 0:
+        from .plinger import FaultTolerance
+
+        fault_tolerance = FaultTolerance(
+            worker_timeout=args.worker_timeout,
+            max_retries=args.max_retries,
+            heartbeat_interval=args.heartbeat_interval,
+        )
+    background = thermo = None
+    if not args.use_cache:
+        # build the tables up front (deterministic, bit-identical to
+        # the master's) so connect-to-READY latency stays low; with
+        # --use-cache they arrive via shm attach or wire transfer
+        background = Background(params)
+        thermo = ThermalHistory(background)
+    try:
+        handle = connect_worker(host or "127.0.0.1", int(port),
+                                timeout=args.connect_timeout)
+    except (OSError, MessagePassingError) as exc:
+        print(f"error: could not join {args.connect}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"worker: joined {args.connect} as rank {handle.mytid} "
+          f"of {handle.nproc}")
+    _worker_entry(handle, background, thermo, kgrid, config,
+                  True, args.batch_size > 1, fault_tolerance, params,
+                  args.use_cache)
+    print(f"worker: rank {handle.mytid} done "
+          f"({handle.stats.messages_sent} messages sent, "
+          f"{handle.stats.bytes_sent} payload bytes)")
+    return 0
+
+
 def cmd_spectrum(args) -> int:
     saved = load_run(args.archive)
     theta = saved.theta_l_matrix()
@@ -554,6 +684,7 @@ def main(argv=None) -> int:
         "scaling": cmd_scaling,
         "serve": cmd_serve,
         "request": cmd_request,
+        "worker": cmd_worker,
     }
     return handlers[args.command](args)
 

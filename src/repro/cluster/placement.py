@@ -1,0 +1,170 @@
+"""Score real shard placements from measured wire traffic.
+
+Until the sockets backend existed, this package could only *simulate*
+1995 machines.  A sockets run produces two real measurements per rank:
+the wrapper-level payload traffic (:class:`~repro.mp.api.TrafficStats`,
+shipped home in each worker's telemetry blob) and the raw bytes on the
+TCP wire (:meth:`~repro.mp.backends.sockets.SocketsWorld.wire_stats`,
+frame overhead included).  A :class:`ShardPlacement` assigns each rank
+to a host; :func:`score_placement` prices the measured traffic under a
+:class:`~repro.cluster.machines.MachineModel` link — co-located ranks
+ride the loopback/shared-memory link, remote ranks pay the modeled
+latency and bandwidth — so candidate shardings of the *same measured
+run* can be ranked before any machine is rented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .machines import MachineModel
+
+__all__ = [
+    "LOCAL_LINK",
+    "ShardPlacement",
+    "PlacementScore",
+    "score_placement",
+    "rank_placements",
+]
+
+#: The same-host "link": loopback TCP / shared pages.  Latency and
+#: bandwidth are representative of a mid-range box's loopback path;
+#: per-node compute numbers are irrelevant here (traffic pricing only).
+LOCAL_LINK = MachineModel(
+    name="co-located",
+    mflop_per_node=1.0,
+    peak_mflop_per_node=1.0,
+    latency_s=2.0e-6,
+    bandwidth_bytes_per_s=8.0e9,
+    max_nodes=1,
+)
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """An assignment of ranks to named hosts.
+
+    The master (rank 0) anchors the placement: ranks on its host are
+    co-located, every other rank crosses the wire.  Ranks absent from
+    ``hosts`` default to the master's host.
+    """
+
+    hosts: Mapping[int, str]
+    name: str = ""
+
+    def host_of(self, rank: int) -> str:
+        master_host = self.hosts.get(0, "master")
+        return self.hosts.get(rank, master_host)
+
+    def colocated(self, rank: int) -> bool:
+        return self.host_of(rank) == self.host_of(0)
+
+
+@dataclass(frozen=True)
+class PlacementScore:
+    """Measured traffic priced under one placement."""
+
+    placement: ShardPlacement
+    link: str                 #: the cross-host link model's name
+    local_messages: int = 0
+    local_bytes: int = 0
+    wire_messages: int = 0
+    wire_bytes: int = 0
+    local_seconds: float = 0.0
+    wire_seconds: float = 0.0
+    per_rank_seconds: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Modeled communication time, both link classes."""
+        return self.local_seconds + self.wire_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "placement": self.placement.name or dict(self.placement.hosts),
+            "link": self.link,
+            "local_messages": self.local_messages,
+            "local_bytes": self.local_bytes,
+            "wire_messages": self.wire_messages,
+            "wire_bytes": self.wire_bytes,
+            "local_seconds": self.local_seconds,
+            "wire_seconds": self.wire_seconds,
+            "total_seconds": self.total_seconds,
+            "per_rank_seconds": {str(r): s
+                                 for r, s in self.per_rank_seconds.items()},
+        }
+
+
+def _rank_totals(traffic: Mapping) -> tuple[int, int]:
+    """(messages, bytes) both directions from one rank's traffic blob.
+
+    Accepts a :class:`~repro.mp.api.TrafficStats`, its ``as_dict()``
+    form (a worker telemetry ``payload["traffic"]``), or a sockets
+    ``wire_stats()`` row (``{"sent", "received"}`` — raw bytes with no
+    message counts).
+    """
+    if hasattr(traffic, "messages_sent"):
+        traffic = traffic.as_dict()
+    if "messages_sent" in traffic:
+        msgs = int(traffic["messages_sent"]) \
+            + int(traffic["messages_received"])
+        nbytes = int(traffic["bytes_sent"]) + int(traffic["bytes_received"])
+    else:
+        msgs = 0
+        nbytes = int(traffic.get("sent", 0)) + int(traffic.get("received", 0))
+    return msgs, nbytes
+
+
+def score_placement(
+    traffic_by_rank: Mapping[int, Mapping],
+    placement: ShardPlacement,
+    link: MachineModel,
+    local_link: MachineModel = LOCAL_LINK,
+) -> PlacementScore:
+    """Price one run's measured per-rank traffic under ``placement``.
+
+    ``traffic_by_rank`` maps worker rank to its traffic record (see
+    :func:`_rank_totals` for accepted shapes) — worker-side records,
+    so each master<->worker message is counted once.  Each rank's
+    total is priced on the link its placement implies: the in-host
+    ``local_link`` when co-located with the master, the modeled
+    ``link`` otherwise.  Per-message latency uses the message count
+    when the record carries one (wrapper stats); raw wire stats price
+    bandwidth only, which undercounts chatty protocols — prefer
+    wrapper stats for ranking, wire stats for calibration.
+    """
+    score = {
+        "local_messages": 0, "local_bytes": 0,
+        "wire_messages": 0, "wire_bytes": 0,
+        "local_seconds": 0.0, "wire_seconds": 0.0,
+    }
+    per_rank: dict[int, float] = {}
+    for rank, traffic in sorted(traffic_by_rank.items()):
+        if rank == 0:
+            continue  # the master's side of each message; workers carry it
+        msgs, nbytes = _rank_totals(traffic)
+        if placement.colocated(rank):
+            model, side = local_link, "local"
+        else:
+            model, side = link, "wire"
+        seconds = msgs * model.latency_s \
+            + nbytes / model.bandwidth_bytes_per_s
+        score[f"{side}_messages"] += msgs
+        score[f"{side}_bytes"] += nbytes
+        score[f"{side}_seconds"] += seconds
+        per_rank[rank] = seconds
+    return PlacementScore(placement=placement, link=link.name,
+                          per_rank_seconds=per_rank, **score)
+
+
+def rank_placements(
+    traffic_by_rank: Mapping[int, Mapping],
+    placements: list[ShardPlacement],
+    link: MachineModel,
+    local_link: MachineModel = LOCAL_LINK,
+) -> list[PlacementScore]:
+    """Score every candidate placement; cheapest first."""
+    scores = [score_placement(traffic_by_rank, p, link, local_link)
+              for p in placements]
+    return sorted(scores, key=lambda s: s.total_seconds)

@@ -10,7 +10,9 @@ Python:
   myrecvreal``) with the exact probe/receive semantics of the paper's
   MPI implementation,
 * backends: ``serial`` (loopback), ``inprocess`` (threads + queues),
-  ``procs`` (multiprocessing pipes).
+  ``procs`` (multiprocessing pipes), ``sockets`` (length-prefixed
+  binary frames over real TCP, elastic worker pool — the one backend
+  that crosses a host boundary).
 
 An mpi4py backend would slot in unchanged (same buffer-of-float64
 discipline); it is not bundled because this sandbox has no MPI.

@@ -154,7 +154,10 @@ class MessagePassing(abc.ABC):
     def mysendreal(self, buffer, msgtype: int, target: int) -> None:
         """Send ``buffer`` (float64 values) with tag ``msgtype`` to ``target``."""
         self._require_init()
-        if not 0 <= target < self._nproc:
+        # through the property, not the field: elastic worlds (the
+        # sockets backend) grow nproc mid-run and a freshly admitted
+        # rank must be addressable immediately
+        if not 0 <= target < self.nproc:
             raise MessagePassingError(f"invalid target rank {target}")
         msg = Message.make(self._rank, msgtype, buffer)
         with self._send_lock:
@@ -164,7 +167,7 @@ class MessagePassing(abc.ABC):
     def mybcastreal(self, buffer, msgtype: int) -> None:
         """Send ``buffer`` to every other rank (the paper's send loop)."""
         self._require_init()
-        for target in range(self._nproc):
+        for target in range(self.nproc):
             if target != self._rank:
                 self.mysendreal(buffer, msgtype, target)
 
@@ -274,7 +277,7 @@ class World(abc.ABC):
 
 
 def available_backends() -> tuple[str, ...]:
-    return ("serial", "inprocess", "procs")
+    return ("serial", "inprocess", "procs", "sockets")
 
 
 def get_backend(name: str, nproc: int) -> World:
@@ -282,7 +285,10 @@ def get_backend(name: str, nproc: int) -> World:
 
     ``serial`` supports only nproc=1 (loopback); ``inprocess`` runs
     ranks as threads in this process; ``procs`` runs ranks as forked
-    processes (the closest local analogue of PVM/MPI daemons).
+    processes (the closest local analogue of PVM/MPI daemons);
+    ``sockets`` runs ranks as separate OS processes speaking a binary
+    frame protocol over real TCP — locally forked by default, but the
+    same world accepts remote ``repro worker --connect`` ranks.
     """
     if name == "serial":
         from .backends.serial import SerialWorld
@@ -296,6 +302,10 @@ def get_backend(name: str, nproc: int) -> World:
         from .backends.procs import ProcsWorld
 
         return ProcsWorld(nproc)
+    if name == "sockets":
+        from .backends.sockets import SocketsWorld
+
+        return SocketsWorld(nproc)
     raise MessagePassingError(
         f"unknown backend {name!r}; choose from {available_backends()}"
     )

@@ -2,7 +2,9 @@
 
 :func:`run_plinger` is the analogue of the paper's main program: set up
 message passing, run the master in the calling context and the workers
-as threads (``inprocess``) or forked processes (``procs``), and
+as threads (``inprocess``), forked processes (``procs``), or separate
+OS processes over real TCP (``sockets`` — co-located by default, with
+remote and elastic ranks via ``repro worker --connect``), and
 assemble the results (ordered by ascending k) into the same
 :class:`~repro.linger.serial.LingerResult` the serial driver produces —
 by construction, PLINGER output must be identical to LINGER output.
@@ -23,6 +25,7 @@ from ..cache import (
     manifest_from_reals,
     manifest_to_reals,
 )
+from ..cache.sharing import SharedTableBlock
 from ..chaos import current_engine
 from ..errors import (
     CacheError,
@@ -73,14 +76,19 @@ class PlingerRunStats:
 
 def _attach_shared_tables(mp_handle, ft: FaultTolerance, telemetry):
     """Resilient CACHE-manifest attach: timed probe, bounded retry,
-    local-build fallback.
+    wire-transfer fallback, local-build fallback.
 
     The manifest broadcast arrives exactly once, so only the *attach*
     step retries (on the already-received bytes), never the receive.
     Returns the :class:`AttachedTables` view, or None when the worker
     should rebuild its tables locally (dropped broadcast, garbled
-    manifest, or shared-memory attach failure through the retry
-    budget) — availability over zero-copy.
+    manifest, or shared-memory attach failure through the retry budget
+    *and* no wire reply from the master) — availability over zero-copy.
+    The ladder, in order: shm/memmap attach with bounded retries (the
+    co-located fast path: one physical copy), then a ``Tag.TABLES``
+    request for the block's bytes over the wire (the cross-host path —
+    the segment genuinely does not exist on this rank's machine), then
+    a deterministic local rebuild.
     """
     deadline = max(ft.silence_seconds, 1.0)
     if mp_handle.myprobe(Tag.CACHE, mp_handle.mastid,
@@ -103,12 +111,55 @@ def _attach_shared_tables(mp_handle, ft: FaultTolerance, telemetry):
             ),
         )
     except (ValueError, CacheError) as exc:
+        attached = _request_wire_tables(mp_handle, ft, raw, telemetry)
+        if attached is not None:
+            return attached
         telemetry.record_degradation(
             "cache", "attach_fallback",
             f"building tables locally: {exc}",
             seconds=time.perf_counter() - t0,
         )
         return None
+
+
+def _request_wire_tables(mp_handle, ft: FaultTolerance, manifest_raw,
+                         telemetry):
+    """The cross-host rung of the attach ladder: ask the master to ship
+    the table block itself over the wire (``Tag.TABLES`` request and
+    reply), then rebuild a private copy from the bytes.
+
+    Returns the :class:`AttachedTables` view or None (master did not
+    answer in time — a legacy master, or one without the block — or
+    the shipped bytes failed validation); every outcome short of an
+    attach leaves the caller free to fall through to a local rebuild.
+    """
+    try:
+        manifest = manifest_from_reals(manifest_raw)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    t0 = time.perf_counter()
+    try:
+        mp_handle.mysendreal(np.array([float(mp_handle.mytid)]),
+                             Tag.TABLES, mp_handle.mastid)
+    except MessagePassingError:
+        return None
+    deadline = max(ft.silence_seconds, 1.0)
+    if mp_handle.myprobe(Tag.TABLES, mp_handle.mastid,
+                         timeout=deadline) is None:
+        return None
+    reals = mp_handle.myrecvraw(Tag.TABLES, mp_handle.mastid)
+    try:
+        block = SharedTableBlock.from_wire(manifest, reals)
+        attached = AttachedTables(block)
+    except (ValueError, CacheError):
+        return None
+    telemetry.record_degradation(
+        "cache", "attach_wire_transfer",
+        f"segment unmappable from this rank; received "
+        f"{block.total_bytes} table bytes over the wire",
+        seconds=time.perf_counter() - t0,
+    )
+    return attached
 
 
 def _worker_entry(mp_handle, background, thermo, kgrid, config,
@@ -362,6 +413,11 @@ def run_plinger(
     forked = hasattr(world, "launch")
     ft = fault_tolerance
     use_cache = cache is not None
+    if hasattr(world, "accept_joins"):
+        # elastic joins graft onto the fault-tolerant master's admit
+        # path; the legacy fail-loudly master would die on the JOIN
+        # tag, so a legacy run refuses newcomers at the listener
+        world.accept_joins = ft is not None
     if collect_modes and forked:
         raise ProtocolError(
             "collect_modes=True requires thread-hosted workers "
@@ -371,6 +427,7 @@ def run_plinger(
 
     shared_block = None
     manifest_data = None
+    table_data = None
     if use_cache:
         bessel = None
         if bessel_l is not None:
@@ -379,6 +436,10 @@ def run_plinger(
             )
         shared_block = cache.publish(background, thermo, bessel)
         manifest_data = manifest_to_reals(shared_block.manifest)
+        if ft is not None:
+            # the fault-tolerant master can answer Tag.TABLES requests
+            # from ranks that cannot map the segment (remote hosts)
+            table_data = shared_block.wire_data()
 
     # In cache mode workers get no background/thermo objects: forked
     # children must attach the shared block (instead of riding on
@@ -412,7 +473,8 @@ def run_plinger(
         master_mp.initpass()
         log = master_subroutine(master_mp, kgrid, chunks=chunks,
                                 fault_tolerance=ft,
-                                manifest_data=manifest_data)
+                                manifest_data=manifest_data,
+                                table_data=table_data)
         master_mp.endpass()
 
         if forked:

@@ -64,6 +64,7 @@ def master_subroutine(
     chunks: Sequence[Sequence[int]] | None = None,
     fault_tolerance: FaultTolerance | None = None,
     manifest_data: np.ndarray | None = None,
+    table_data: np.ndarray | None = None,
 ) -> MasterLog:
     """Run the master side of the PLINGER protocol to completion.
 
@@ -103,6 +104,14 @@ def master_subroutine(
         attach the shared tables before requesting work.  ``None``
         keeps the fifth slot 0 and sends no CACHE message — the
         paper's wire, untouched.
+    table_data:
+        The shared table block's raw bytes as reals
+        (:meth:`~repro.cache.sharing.SharedTableBlock.wire_data`).
+        Only meaningful with ``fault_tolerance``: a rank that cannot
+        map the manifest's shared-memory segment (it lives on another
+        host) asks for the tables on ``Tag.TABLES`` and the master
+        replies with this buffer.  ``None`` leaves such a request
+        unanswered (the worker falls back to a local rebuild).
     """
     nk = kgrid.nk
     if chunks is None:
@@ -132,7 +141,9 @@ def master_subroutine(
 
     if fault_tolerance is not None:
         return _master_fault_tolerant(
-            mp, kgrid, on_result, chunks, work_length, fault_tolerance, log
+            mp, kgrid, on_result, chunks, work_length, fault_tolerance, log,
+            init_data=init_data, manifest_data=manifest_data,
+            table_data=table_data,
         )
 
     next_chunk = 0  # position in chunks
@@ -213,6 +224,9 @@ def _master_fault_tolerant(
     work_length: int,
     ft: FaultTolerance,
     log: MasterLog,
+    init_data: np.ndarray | None = None,
+    manifest_data: np.ndarray | None = None,
+    table_data: np.ndarray | None = None,
 ) -> MasterLog:
     """The resilient master loop.
 
@@ -226,6 +240,13 @@ def _master_fault_tolerant(
       READY (which re-earns the same assignment, never a new one);
     * every inbound record is validated before it is trusted: a
       corrupt or torn result is discarded and the mode recomputed.
+
+    The elastic extension (sockets backend): a rank beyond the launch
+    complement that speaks up mid-run — a ``Tag.JOIN`` announcement, or
+    any first message from an unknown rank (the announcement itself can
+    be lost) — is *admitted*: entered into the liveness books and sent
+    the INIT/CACHE setup it missed, after which the normal protocol
+    applies.  The quarantine path already handles its departure.
     """
     nk = kgrid.nk
     fr = FaultReport()
@@ -313,6 +334,19 @@ def _master_fault_tolerant(
             while idle and (requeue or queue):
                 reply_with_work(min(idle))
 
+    def admit(rank: int) -> None:
+        """The elastic "add rank" path: enter a mid-run newcomer into
+        the books and re-send the setup broadcast it missed."""
+        workers.add(rank)
+        outstanding[rank] = set()
+        last_seen[rank] = time.monotonic()
+        fr.ranks_joined += 1
+        if init_data is not None:
+            mp.mysendreal(init_data, Tag.INIT, rank)
+        if manifest_data is not None:
+            mp.mysendreal(np.asarray(manifest_data, dtype=float),
+                          Tag.CACHE, rank)
+
     def valid_header(buf: np.ndarray) -> ModeHeader | None:
         # Only the slots the protocol interprets (ik, k, lmax, level)
         # must be finite and well-formed; the physics slots may carry
@@ -363,7 +397,27 @@ def _master_fault_tolerant(
             continue
 
         tag, rank = probed
+        if rank not in workers and rank != mp.mastid:
+            admit(rank)
         last_seen[rank] = time.monotonic()
+
+        if tag == Tag.JOIN:
+            # the world's announcement of the rank just admitted above
+            # (or a duplicate of one); carries no further information
+            mp.myrecvraw(Tag.JOIN, rank)
+            continue
+
+        if tag == Tag.TABLES:
+            # a rank that cannot map the shared-memory segment (it is
+            # on another host) asks for the tables themselves
+            mp.myrecvraw(Tag.TABLES, rank)
+            if table_data is not None:
+                mp.mysendreal(np.asarray(table_data, dtype=float),
+                              Tag.TABLES, rank)
+                fr.table_wire_transfers += 1
+            else:
+                fr.unexpected_tags += 1
+            continue
 
         if tag == Tag.HEARTBEAT:
             mp.myrecvraw(Tag.HEARTBEAT, rank)

@@ -207,6 +207,12 @@ class FaultReport:
     recovery_wall_seconds: float = 0.0
     #: heartbeats received by the master
     heartbeats_received: int = 0
+    #: elastic ranks admitted mid-run (sockets backend JOIN path);
+    #: not a fault — growth is healthy — so excluded from any_faults
+    ranks_joined: int = 0
+    #: precompute-table blocks shipped over the wire to ranks that
+    #: could not map the shared-memory segment (remote hosts)
+    table_wire_transfers: int = 0
 
     @property
     def total_retries(self) -> int:

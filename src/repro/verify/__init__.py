@@ -40,6 +40,7 @@ from .oracles import (
     gauge_oracle,
     paths_oracle,
     rhs_kernel_oracle,
+    sockets_world_oracle,
     sparse_cl_oracle,
 )
 from .runner import VerificationCheck, VerificationReport, verify_run
@@ -56,6 +57,7 @@ __all__ = [
     "gauge_oracle",
     "sparse_cl_oracle",
     "rhs_kernel_oracle",
+    "sockets_world_oracle",
     "superhorizon_eta_drift",
     "adiabatic_ratio_deviation",
     "acoustic_phase_deviation",

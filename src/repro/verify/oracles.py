@@ -38,6 +38,7 @@ __all__ = [
     "rhs_kernel_oracle",
     "chaos_degradation_oracle",
     "serve_result_oracle",
+    "sockets_world_oracle",
 ]
 
 #: ModeHeader fields carrying physics (not timing/accounting); the path
@@ -389,6 +390,140 @@ def chaos_degradation_oracle(
     if any(n == 0 for n in counts.values()):
         dev = float("nan")
     return {"chaos_degradation": dev, "chaos_events": counts}
+
+
+def sockets_world_oracle(params, nproc: int = 3) -> dict:
+    """Spectrum identity over the TCP-sockets world, elastic legs included.
+
+    One small grid is integrated serially (the reference) and then
+    three times over real OS processes talking TCP on localhost:
+
+    * **tcp**  — a clean ``nproc``-rank sockets run; the leg also
+      verifies the run was *genuinely* multi-process (>= 2 distinct
+      worker pids differing from the master's) and that bytes actually
+      crossed the wire;
+    * **join** — a run started one rank short, with the missing worker
+      dialing in *mid-run* (the elastic-admission path); the fault
+      report must show ``ranks_joined >= 1``;
+    * **kill** — a run whose highest-rank worker is SIGKILLed shortly
+      after it connects; the fault tolerance machinery must quarantine
+      it (``dead_workers`` nonempty) and finish on the survivors.
+
+    Returns ``{"sockets_world": dev, "sockets_legs": {...}}`` where
+    ``dev`` is the worst ``max|cl - cl_ref| / max|cl_ref|`` over the
+    three legs — bitwise-zero in practice, since the frame codec moves
+    the identical float64 buffers and the elastic legs recompute
+    through the same integrator.  ``dev`` is NaN when any leg's
+    tripwire fails (not actually multi-process, no rank joined, no
+    rank quarantined): a sockets check that never left the process or
+    never exercised elasticity proves nothing.
+    """
+    import os
+    import signal
+    import threading
+    import time
+
+    from ..linger.kgrid import KGrid
+    from ..linger.serial import LingerConfig, run_linger
+    from ..mp.backends.sockets import SocketsWorld
+    from ..plinger import run_plinger
+    from ..resilience import FaultTolerance
+    from ..spectra import cl_from_hierarchy
+
+    kgrid = KGrid.from_k(np.geomspace(1e-3, 0.02, 4))
+    config = LingerConfig(lmax_photon=8, lmax_nu=8, rtol=1e-4,
+                          record_sources=False, keep_mode_results=False)
+    # Snappy fault-tolerance settings for the elastic legs: a SIGKILL
+    # must be detected well inside the leg's ~2 s of real work.
+    ft = FaultTolerance(worker_timeout=2.0, heartbeat_interval=0.25,
+                        missed_heartbeats=4, poll_seconds=0.02,
+                        payload_timeout=5.0, max_retries=10)
+
+    serial = run_linger(params, kgrid, config)
+    _l, cl_ref = cl_from_hierarchy(serial)
+    scale = max(float(np.max(np.abs(cl_ref))), 1e-300)
+    my_pid = os.getpid()
+
+    legs: dict[str, bool] = {"tcp": False, "join": False, "kill": False}
+    dev = 0.0
+
+    # -- clean leg: nproc ranks, real TCP, no faults ----------------------
+    world = SocketsWorld(nproc)
+    clean, _stats = run_plinger(params, kgrid, config, nproc=nproc,
+                                backend="sockets", world=world)
+    worker_pids = {p for r, p in world.rank_pids.items() if r != 0}
+    _l, cl = cl_from_hierarchy(clean)
+    dev = max(dev, float(np.max(np.abs(cl - cl_ref))) / scale)
+    legs["tcp"] = (
+        len(worker_pids) >= 2
+        and my_pid not in worker_pids
+        and sum(s["received"] for s in world.wire_stats().values()) > 0
+    )
+
+    # -- join leg: start one rank short, admit a newcomer mid-run ---------
+    world_j = SocketsWorld(max(nproc - 1, 2))
+
+    def late_joiner() -> None:
+        # spawn_extra_worker needs launch() to have stored the entry;
+        # retry until the run is actually underway.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            try:
+                world_j.spawn_extra_worker()
+                return
+            except Exception:
+                time.sleep(0.05)
+
+    joiner = threading.Thread(target=late_joiner, daemon=True)
+    joiner.start()
+    joined, stats_j = run_plinger(params, kgrid, config,
+                                  nproc=max(nproc - 1, 2),
+                                  backend="sockets", world=world_j,
+                                  fault_tolerance=ft)
+    joiner.join(timeout=30.0)
+    _l, cl_j = cl_from_hierarchy(joined)
+    dev = max(dev, float(np.max(np.abs(cl_j - cl_ref))) / scale)
+    fr_j = stats_j.fault_report
+    legs["join"] = fr_j is not None and fr_j.ranks_joined >= 1
+
+    # -- kill leg: SIGKILL the highest rank mid-run, finish on survivors --
+    # A fixed sleep races both worker startup and run completion on a
+    # loaded machine, so the assassin waits for a *connected* victim
+    # (rank_pids only lists ranks past the HELLO handshake) and the
+    # whole leg retries if the run still finished fault-free.
+    for _attempt in range(3):
+        world_k = SocketsWorld(nproc)
+
+        def killer() -> None:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                ranks = [r for r in world_k.rank_pids if r != 0]
+                if len(ranks) == nproc - 1:
+                    time.sleep(0.3)  # let the run get under way
+                    try:
+                        os.kill(world_k.child_pid(max(ranks)),
+                                signal.SIGKILL)
+                    except (KeyError, ProcessLookupError):
+                        pass
+                    return
+                time.sleep(0.02)
+
+        assassin = threading.Thread(target=killer, daemon=True)
+        assassin.start()
+        killed, stats_k = run_plinger(params, kgrid, config, nproc=nproc,
+                                      backend="sockets", world=world_k,
+                                      fault_tolerance=ft)
+        assassin.join(timeout=30.0)
+        _l, cl_k = cl_from_hierarchy(killed)
+        dev = max(dev, float(np.max(np.abs(cl_k - cl_ref))) / scale)
+        fr_k = stats_k.fault_report
+        legs["kill"] = fr_k is not None and len(fr_k.dead_workers) > 0
+        if legs["kill"]:
+            break
+
+    if not all(legs.values()):
+        dev = float("nan")
+    return {"sockets_world": dev, "sockets_legs": legs}
 
 
 def serve_result_oracle(params, nproc: int = 3) -> dict:

@@ -57,6 +57,7 @@ from .oracles import (
     paths_oracle,
     rhs_kernel_oracle,
     serve_result_oracle,
+    sockets_world_oracle,
     sparse_cl_oracle,
 )
 from .tolerances import budget
@@ -351,6 +352,19 @@ def verify_run(
         "tiers exercised: "
         + ", ".join(f"{t}={'yes' if ok else 'NO'}"
                     for t, ok in tiers.items()),
+    ))
+
+    if progress:
+        print("[verify] sockets world oracle (TCP shard round trip)...")
+    wdevs = sockets_world_oracle(params)
+    legs = wdevs["sockets_legs"]
+    report.checks.append(mk(
+        "oracle.sockets_world",
+        "C_l over the TCP-sockets world (clean/join/kill)",
+        wdevs["sockets_world"],
+        "legs exercised: "
+        + ", ".join(f"{t}={'yes' if ok else 'NO'}"
+                    for t, ok in legs.items()),
     ))
 
     report.wall_seconds = time.perf_counter() - wall0

@@ -29,7 +29,9 @@ class TestMessage:
 
 class TestBackendRegistry:
     def test_available(self):
-        assert set(available_backends()) == {"serial", "inprocess", "procs"}
+        assert set(available_backends()) == {
+            "serial", "inprocess", "procs", "sockets",
+        }
 
     def test_unknown_rejected(self):
         with pytest.raises(MessagePassingError):
